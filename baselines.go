@@ -1,0 +1,122 @@
+package scl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The baseline locks below are the traditional primitives the paper
+// compares SCLs against (§3): a test-and-set spinlock, a ticket lock, and
+// a barging (pthread-style) sleeping mutex. They guarantee, at best,
+// acquisition fairness — never usage fairness — and so all of them exhibit
+// scheduler subversion under asymmetric critical sections.
+
+// SpinLock is a test-and-set spinlock. Waiters burn CPU and acquisition
+// order is arbitrary: a releasing goroutine that immediately re-locks
+// usually wins (barging).
+type SpinLock struct {
+	state atomic.Int32
+}
+
+// Lock spins until the lock is acquired.
+func (l *SpinLock) Lock() {
+	for {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the lock.
+func (l *SpinLock) Unlock() {
+	if !l.state.CompareAndSwap(1, 0) {
+		panic("scl: SpinLock.Unlock of unlocked lock")
+	}
+}
+
+var _ sync.Locker = (*SpinLock)(nil)
+
+// TicketLock is a fetch-and-add ticket lock: strict FIFO acquisition
+// order (Mellor-Crummey & Scott). Acquisition fairness still subverts the
+// scheduler when critical-section lengths differ — the long-CS thread
+// receives hold time proportional to its CS length (paper Figure 2c).
+type TicketLock struct {
+	next    atomic.Int64
+	serving atomic.Int64
+}
+
+// Lock takes a ticket and waits for its turn.
+func (l *TicketLock) Lock() {
+	ticket := l.next.Add(1) - 1
+	for l.serving.Load() != ticket {
+		runtime.Gosched()
+	}
+}
+
+// Unlock serves the next ticket.
+func (l *TicketLock) Unlock() {
+	l.serving.Add(1)
+}
+
+var _ sync.Locker = (*TicketLock)(nil)
+
+// BargingMutex is an unfair sleeping mutex in the style of a pthread
+// mutex: a free lock goes to whoever CASes first, and woken waiters race
+// (and usually lose) against running threads. One thread with a short
+// non-critical section can dominate it indefinitely (paper Figure 2a).
+//
+// Go's sync.Mutex enters a "starvation mode" that hands the lock to the
+// oldest waiter after 1ms, which hides exactly the pathology the paper
+// studies — hence this explicit barging implementation.
+type BargingMutex struct {
+	mu      sync.Mutex // protects waiters
+	state   atomic.Int32
+	waiters []chan struct{}
+}
+
+// Lock acquires the mutex, sleeping (after a brief spin) while contended.
+func (l *BargingMutex) Lock() {
+	// Brief active phase: barge if possible.
+	for i := 0; i < 16; i++ {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+	for {
+		if l.state.CompareAndSwap(0, 1) {
+			return
+		}
+		ch := make(chan struct{}, 1)
+		l.mu.Lock()
+		// Re-check after registering, or a concurrent Unlock may have
+		// missed us.
+		if l.state.CompareAndSwap(0, 1) {
+			l.mu.Unlock()
+			return
+		}
+		l.waiters = append(l.waiters, ch)
+		l.mu.Unlock()
+		<-ch
+		// Woken: race again from the start (barging semantics).
+	}
+}
+
+// Unlock releases the mutex and wakes one waiter, if any. The waiter must
+// still win the race against running threads.
+func (l *BargingMutex) Unlock() {
+	if !l.state.CompareAndSwap(1, 0) {
+		panic("scl: BargingMutex.Unlock of unlocked lock")
+	}
+	l.mu.Lock()
+	if len(l.waiters) > 0 {
+		ch := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		ch <- struct{}{}
+	}
+	l.mu.Unlock()
+}
+
+var _ sync.Locker = (*BargingMutex)(nil)

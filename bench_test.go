@@ -1,0 +1,303 @@
+package scl_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each delegates to the corresponding runner in internal/experiments at a
+// reduced scale (the full-scale tables are produced by cmd/sclbench) and
+// reports the experiment's headline metrics through b.ReportMetric, so
+// `go test -bench=.` regenerates the whole evaluation in miniature.
+
+import (
+	"testing"
+
+	"scl/internal/experiments"
+)
+
+// benchScale keeps each benchmark iteration to roughly a second.
+const benchScale = 0.05
+
+func benchOptions(i int) experiments.Options {
+	return experiments.Options{Seed: int64(i + 1), Scale: benchScale}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var jain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		jain = res.Rows[len(res.Rows)-1].Jain // u-SCL row
+	}
+	b.ReportMetric(jain, "uscl-jain")
+}
+
+func benchFig5(b *testing.B, threads int) {
+	var usclJain, mutexJain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchOptions(i), threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mutexJain = res.Rows[0].JainHold
+		usclJain = res.Rows[len(res.Rows)-1].JainHold
+	}
+	b.ReportMetric(usclJain, "uscl-jain")
+	b.ReportMetric(mutexJain, "mutex-jain")
+}
+
+func BenchmarkFig5a(b *testing.B) { benchFig5(b, 2) }
+func BenchmarkFig5c(b *testing.B) { benchFig5(b, 16) }
+
+func BenchmarkFig6(b *testing.B) {
+	var worst float64 = 1
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 1
+		for _, row := range res.Rows {
+			if row.Lock == "SCL" && row.Jain < worst {
+				worst = row.Jain
+			}
+		}
+	}
+	b.ReportMetric(worst, "uscl-worst-weighted-jain")
+}
+
+func benchFig7(b *testing.B, variant string) {
+	var usclTput float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOptions(i), variant)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Lock == "SCL" && row.Threads == 2 {
+				usclTput = row.Tput
+			}
+		}
+	}
+	b.ReportMetric(usclTput, "uscl-2thread-ops/sec")
+}
+
+func BenchmarkFig7a(b *testing.B) { benchFig7(b, "a") }
+func BenchmarkFig7b(b *testing.B) { benchFig7(b, "b") }
+
+func BenchmarkFig8a(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8a(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		best = 0
+		for _, row := range res.Tput {
+			for _, v := range row {
+				if v > best {
+					best = v
+				}
+			}
+		}
+	}
+	b.ReportMetric(best, "best-ops/sec")
+}
+
+func BenchmarkFig8b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8b(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	var p99 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Config == "u-SCL 10µs" {
+				p99 = float64(row.Summary.P99.Microseconds())
+			}
+		}
+	}
+	b.ReportMetric(p99, "uscl-10us-p99-us")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var usclJain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		usclJain = res.Runs[1].JainHold
+	}
+	b.ReportMetric(usclJain, "uscl-jain")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	var writerTput float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		writerTput = res.Rows[1].WriterTput
+	}
+	b.ReportMetric(writerTput, "rwscl-writer-ops/sec")
+}
+
+func benchFig12(b *testing.B, variant string) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchOptions(i), variant)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig12a(b *testing.B) { benchFig12(b, "a") }
+func BenchmarkFig12b(b *testing.B) { benchFig12(b, "b") }
+
+func BenchmarkFig13(b *testing.B) {
+	var below float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Lock == "k-SCL" && row.Proc == "victim" {
+				below = row.Below10us
+			}
+		}
+	}
+	b.ReportMetric(below*100, "kscl-victim-under-10us-%")
+}
+
+func BenchmarkAblation(b *testing.B) {
+	var fullJain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Ablation(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullJain = res.Rows[0].JainHold
+	}
+	b.ReportMetric(fullJain, "full-uscl-jain")
+}
+
+func BenchmarkGroups(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Groups(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0].Tput > 0 {
+			gain = res.Rows[1].Tput / res.Rows[0].Tput
+		}
+	}
+	b.ReportMetric(gain, "grouped-tput-gain")
+}
+
+func BenchmarkULE(b *testing.B) {
+	var usclP99 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ULE(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Sched == "ule" && row.Lock == "u-SCL 10µs" {
+				usclP99 = float64(row.Summary.P99.Microseconds())
+			}
+		}
+	}
+	b.ReportMetric(usclP99, "ule-uscl-p99-us")
+}
+
+func BenchmarkPI(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.PI(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if with := res.Rows[1].WaiterWait.P50; with > 0 {
+			improvement = float64(res.Rows[0].WaiterWait.P50) / float64(with)
+		}
+	}
+	b.ReportMetric(improvement, "pi-p50-wait-improvement")
+}
+
+func BenchmarkMultilock(b *testing.B) {
+	var nestedJain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Multilock(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nestedJain = res.Rows[1].L1Jain
+	}
+	b.ReportMetric(nestedJain, "nested-L1-jain")
+}
+
+func BenchmarkFig14(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0].VictimOps > 0 {
+			improvement = float64(res.Rows[1].VictimOps) / float64(res.Rows[0].VictimOps)
+		}
+	}
+	b.ReportMetric(improvement, "victim-ops-kscl/mutex")
+}
+
+// Sanity: every registered experiment has a benchmark above.
+func TestEveryExperimentHasABenchmark(t *testing.T) {
+	covered := map[string]bool{
+		"table1": true, "table2": true, "fig5a": true, "fig5c": true,
+		"fig6": true, "fig7a": true, "fig7b": true, "fig8a": true,
+		"fig8b": true, "fig9": true, "fig10": true, "fig11": true,
+		"fig12a": true, "fig12b": true, "fig13": true, "fig14": true,
+		"ablation": true, "groups": true, "ule": true, "pi": true,
+		"multilock": true,
+	}
+	for _, name := range experiments.Names() {
+		if !covered[name] {
+			t.Errorf("experiment %s has no benchmark", name)
+		}
+	}
+	for name := range covered {
+		if _, ok := experiments.Get(name); !ok {
+			t.Errorf("benchmark covers unknown experiment %s", name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Command lht measures lock hold time (critical-section) distributions on
+// this repository's real application substrates — the reproduction of the
+// paper's Table 1. All measurements are wall-clock timings of real data
+// structure operations (B+-tree, LSM, hash tables, journal, VFS
+// namespace); see DESIGN.md for the paper-to-substrate mapping.
+//
+// Usage:
+//
+//	lht [-scale 0.5] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scl/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "workload seed")
+		scale = flag.Float64("scale", 1.0, "sample count scale factor")
+	)
+	flag.Parse()
+	res, err := experiments.Table1(experiments.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+}

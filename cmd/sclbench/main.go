@@ -1,0 +1,69 @@
+// Command sclbench regenerates the tables and figures of "Avoiding
+// Scheduler Subversion using Scheduler-Cooperative Locks" (EuroSys 2020)
+// on this repository's simulator and substrates.
+//
+// Usage:
+//
+//	sclbench -list
+//	sclbench -exp fig5a
+//	sclbench -exp all -scale 0.5 -seed 7
+//
+// Scale multiplies each experiment's default duration (1.0 ≈ seconds per
+// experiment); seed makes runs reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (see -list), or \"all\"")
+		list  = flag.Bool("list", false, "list available experiments")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		scale = flag.Float64("scale", 1.0, "duration scale factor")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", r.Name, r.Paper)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	run := func(r experiments.Runner) {
+		fmt.Printf("== %s: %s\n", r.Name, r.Paper)
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, r := range experiments.All() {
+			run(r)
+		}
+		return
+	}
+	r, ok := experiments.Get(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+	run(r)
+}

@@ -1,0 +1,45 @@
+// Proportional lock shares: a "premium" tenant and a "standard" tenant
+// contend on one lock with a 2:1 weight ratio (the weights a CFS scheduler
+// would assign to nice -3 vs nice 0). The SCL hands out lock opportunity
+// in the same 2:1 proportion even though both tenants are identical
+// otherwise — the scheduler's allocation policy is carried through the
+// lock instead of being subverted by it.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scl"
+)
+
+func main() {
+	m := scl.NewMutex(scl.Options{Slice: time.Millisecond})
+	premium := m.RegisterNice(-3).SetName("premium")  // weight 1991
+	standard := m.RegisterNice(0).SetName("standard") // weight 1024
+
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	var wg sync.WaitGroup
+	var premiumOps, standardOps int64
+	work := func(h *scl.Handle, ops *int64) {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			h.Lock()
+			time.Sleep(2 * time.Millisecond) // identical critical sections
+			h.Unlock()
+			*ops++
+		}
+	}
+	wg.Add(2)
+	go work(premium, &premiumOps)
+	go work(standard, &standardOps)
+	wg.Wait()
+
+	s := m.Stats()
+	ph, sh := s.Hold[premium.ID()], s.Hold[standard.ID()]
+	fmt.Printf("premium  (nice -3): %5d ops, held %v\n", premiumOps, ph.Round(time.Millisecond))
+	fmt.Printf("standard (nice  0): %5d ops, held %v\n", standardOps, sh.Round(time.Millisecond))
+	fmt.Printf("hold ratio: %.2f (want ~%.2f — the CFS 1991:1024 weight ratio)\n",
+		float64(ph)/float64(sh), 1991.0/1024.0)
+}

@@ -1,0 +1,3 @@
+module scl
+
+go 1.22

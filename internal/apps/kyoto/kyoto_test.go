@@ -1,0 +1,64 @@
+package kyoto
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB(1000)
+	rng := rand.New(rand.NewSource(1))
+	if !db.Read(rng) {
+		t.Fatal("read on preloaded db failed")
+	}
+	db.Write(rng) // overwrite must not grow the table
+	if db.table.Len() != 1000 {
+		t.Fatalf("len %d after overwrite", db.table.Len())
+	}
+}
+
+func TestSimReaderPreferenceStarvesWriter(t *testing.T) {
+	// Paper Figure 11 vanilla: the writer is starved by reader preference.
+	res := RunSim(SimConfig{
+		Lock: "rwmutex", Readers: 7, Writers: 1,
+		CPUs: 8, Horizon: 200 * time.Millisecond, Entries: 20000, Seed: 1,
+	})
+	if res.WriterOps*50 > res.ReaderOps {
+		t.Fatalf("writer not starved: %d writes vs %d reads", res.WriterOps, res.ReaderOps)
+	}
+}
+
+func TestSimRWSCLGivesWriterShare(t *testing.T) {
+	// Paper Figure 11 RW-SCL: the writer gets its 10% opportunity.
+	vanilla := RunSim(SimConfig{
+		Lock: "rwmutex", Readers: 7, Writers: 1,
+		CPUs: 8, Horizon: 200 * time.Millisecond, Entries: 20000, Seed: 1,
+	})
+	rwscl := RunSim(SimConfig{
+		Lock: "rwscl", Readers: 7, Writers: 1,
+		CPUs: 8, Horizon: 200 * time.Millisecond, Entries: 20000, Seed: 1,
+	})
+	if rwscl.WriterOps < 20*vanilla.WriterOps {
+		t.Fatalf("RW-SCL writer ops %d, vanilla %d: want large improvement",
+			rwscl.WriterOps, vanilla.WriterOps)
+	}
+	if rwscl.ReaderOps == 0 {
+		t.Fatal("readers starved under RW-SCL")
+	}
+	// Writer hold should be in the vicinity of its 10% share of held time.
+	frac := float64(rwscl.WriterHold) / float64(rwscl.WriterHold+rwscl.ReaderHold)
+	if frac < 0.01 || frac > 0.4 {
+		t.Fatalf("writer hold fraction %.3f, want around 0.1", frac)
+	}
+}
+
+func TestRunRealSmoke(t *testing.T) {
+	res := RunReal(RealConfig{
+		Readers: 2, Writers: 1, Duration: 150 * time.Millisecond,
+		Entries: 10000, Seed: 1,
+	})
+	if res.Stats.ReaderOps == 0 || res.Stats.WriterOps == 0 {
+		t.Fatalf("ops: readers %d writers %d", res.Stats.ReaderOps, res.Stats.WriterOps)
+	}
+}

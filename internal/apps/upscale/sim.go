@@ -1,0 +1,150 @@
+package upscale
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"scl/sim"
+)
+
+// SimConfig configures the simulator twin of the UpScaleDB experiment
+// (paper Figures 1 and 10): FindThreads + InsertThreads workers pinned
+// round-robin over CPUs, all contending on the global environment lock.
+type SimConfig struct {
+	Lock          string // "mutex" (pthread-style) or "uscl"
+	FindThreads   int
+	InsertThreads int
+	CPUs          int
+	Horizon       time.Duration
+	Preload       int
+	Slice         time.Duration // u-SCL slice (0 = default 2ms)
+	Seed          int64
+}
+
+// ThreadResult summarizes one worker.
+type ThreadResult struct {
+	Name    string
+	Kind    string // "find" or "insert"
+	Ops     int64
+	CPUTime time.Duration // simulated CPU seconds allocated to the thread
+	CPUHold time.Duration // CPU while holding the lock
+	Hold    time.Duration // lock hold (wall) time
+}
+
+// SimResult is the outcome of one simulated run.
+type SimResult struct {
+	Threads    []ThreadResult
+	FindOps    int64
+	InsertOps  int64
+	JainHold   float64
+	LockUtil   float64 // fraction of the run the lock was held
+	Horizon    time.Duration
+	CPUUtil    float64
+	FindTput   float64 // ops/sec
+	InsertTput float64
+}
+
+// RunSim executes the simulated UpScaleDB workload. Each simulated thread
+// executes real B+-tree/journal operations on the shared store, measures
+// their actual duration, and charges that to the simulated CPU — so
+// critical-section lengths have the store's authentic distribution while
+// scheduling and locking are fully simulated.
+func RunSim(cfg SimConfig) SimResult {
+	if cfg.CPUs == 0 {
+		cfg.CPUs = 4
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 2 * time.Second
+	}
+	runtime.GC() // measured-cost runs: don't carry GC debt across configs
+	e := sim.New(sim.Config{CPUs: cfg.CPUs, Horizon: cfg.Horizon, Seed: cfg.Seed})
+	var lk sim.Locker
+	switch cfg.Lock {
+	case "", "mutex":
+		lk = sim.NewMutex(e)
+	case "uscl":
+		lk = sim.NewUSCL(e, cfg.Slice)
+	default:
+		panic("upscale: unknown lock " + cfg.Lock)
+	}
+	store := NewStore(cfg.Preload)
+	total := cfg.FindThreads + cfg.InsertThreads
+	ops := make([]int64, total)
+	kinds := make([]string, total)
+	for i := 0; i < total; i++ {
+		i := i
+		insert := i >= cfg.FindThreads
+		kind := "find"
+		if insert {
+			kind = "insert"
+		}
+		kinds[i] = kind
+		name := fmt.Sprintf("%s-%d", kind, i)
+		rng := rand.New(rand.NewSource(cfg.Seed*1000 + int64(i)))
+		e.Spawn(name, sim.TaskConfig{CPU: i % cfg.CPUs}, func(t *sim.Task) {
+			for t.Now() < cfg.Horizon {
+				lk.Lock(t)
+				start := time.Now()
+				if insert {
+					store.Insert(rng)
+				} else {
+					store.Find(rng)
+				}
+				t.Compute(sinceAtLeast(start, 50*time.Nanosecond))
+				lk.Unlock(t)
+				// Client-side work between operations (key generation,
+				// result handling).
+				t.Compute(200 * time.Nanosecond)
+				ops[i]++
+			}
+		})
+	}
+	e.Run()
+
+	res := SimResult{Horizon: cfg.Horizon, CPUUtil: e.Utilization()}
+	s := lk.Stats()
+	ids := make([]int, total)
+	for i := 0; i < total; i++ {
+		ids[i] = i
+		task := e.TaskByID(i)
+		tr := ThreadResult{
+			Name:    task.Name(),
+			Kind:    kinds[i],
+			Ops:     ops[i],
+			CPUTime: task.CPUTime(),
+			CPUHold: task.CPUHoldTime(),
+			Hold:    s.Hold(i),
+		}
+		res.Threads = append(res.Threads, tr)
+		if kinds[i] == "find" {
+			res.FindOps += ops[i]
+		} else {
+			res.InsertOps += ops[i]
+		}
+	}
+	res.JainHold = s.JainHold(ids...)
+	res.LockUtil = float64(s.TotalHold()) / float64(cfg.Horizon)
+	secs := cfg.Horizon.Seconds()
+	res.FindTput = float64(res.FindOps) / secs
+	res.InsertTput = float64(res.InsertOps) / secs
+	return res
+}
+
+// sinceAtLeast returns the elapsed real time since start, floored at min
+// (clock resolution can return 0 for very short operations) and capped at
+// 100µs: the store's operations are microsecond-scale by construction, so
+// larger readings are measurement noise (a GC pause or OS preemption of
+// the simulating process), not critical-section work.
+func sinceAtLeast(start time.Time, min time.Duration) time.Duration {
+	const cap = 100 * time.Microsecond
+	d := time.Since(start)
+	if d < min {
+		return min
+	}
+	if d > cap {
+		return cap
+	}
+	return d
+}

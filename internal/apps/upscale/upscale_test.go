@@ -1,0 +1,87 @@
+package upscale
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(1000)
+	if s.Len() != 1000 {
+		t.Fatalf("preload len %d", s.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if !s.Find(rng) {
+		t.Fatal("find on preloaded store failed")
+	}
+	before := s.Len()
+	s.Insert(rng)
+	if s.Len() != before+1 {
+		t.Fatalf("insert did not grow store: %d", s.Len())
+	}
+}
+
+func TestFindOnEmptyStore(t *testing.T) {
+	s := NewStore(0)
+	if s.Find(rand.New(rand.NewSource(1))) {
+		t.Fatal("find on empty store succeeded")
+	}
+}
+
+func TestSimMutexSubvertsScheduler(t *testing.T) {
+	// Paper Figure 1: with a pthread-style mutex, insert threads (long CS)
+	// dominate the lock and hence the CPU.
+	res := RunSim(SimConfig{
+		Lock: "mutex", FindThreads: 2, InsertThreads: 2,
+		CPUs: 2, Horizon: 300 * time.Millisecond, Preload: 20000, Seed: 1,
+	})
+	var findHold, insertHold time.Duration
+	for _, th := range res.Threads {
+		if th.Kind == "find" {
+			findHold += th.Hold
+		} else {
+			insertHold += th.Hold
+		}
+	}
+	if insertHold < 3*findHold {
+		t.Fatalf("insert hold %v not ≫ find hold %v", insertHold, findHold)
+	}
+	if res.JainHold > 0.9 {
+		t.Fatalf("mutex hold fairness %.3f, want clearly unfair", res.JainHold)
+	}
+}
+
+func TestSimUSCLRestoresFairness(t *testing.T) {
+	// Paper Figure 10b: with u-SCL, hold times equalize and find
+	// throughput improves by orders of magnitude.
+	mutex := RunSim(SimConfig{
+		Lock: "mutex", FindThreads: 2, InsertThreads: 2,
+		CPUs: 2, Horizon: 300 * time.Millisecond, Preload: 20000, Seed: 1,
+	})
+	uscl := RunSim(SimConfig{
+		Lock: "uscl", FindThreads: 2, InsertThreads: 2,
+		CPUs: 2, Horizon: 300 * time.Millisecond, Preload: 20000, Seed: 1,
+	})
+	if uscl.JainHold < 0.9 {
+		t.Fatalf("u-SCL hold fairness %.3f, want ~1", uscl.JainHold)
+	}
+	if uscl.FindTput < 3*mutex.FindTput {
+		t.Fatalf("u-SCL find tput %.0f not ≫ mutex %.0f", uscl.FindTput, mutex.FindTput)
+	}
+}
+
+func TestRunRealSmoke(t *testing.T) {
+	for _, lock := range []string{"barging", "uscl"} {
+		res := RunReal(RealConfig{
+			Lock: lock, FindThreads: 2, InsertThreads: 2,
+			Duration: 150 * time.Millisecond, Preload: 5000, Seed: 1,
+		})
+		if res.FindOps == 0 && res.InsertOps == 0 {
+			t.Fatalf("%s: no operations completed", lock)
+		}
+		if len(res.Threads) != 4 {
+			t.Fatalf("%s: %d threads", lock, len(res.Threads))
+		}
+	}
+}

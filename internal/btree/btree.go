@@ -1,0 +1,227 @@
+// Package btree implements an in-memory B+-tree with byte-slice keys and
+// values — the index structure behind this repository's UpScaleDB-analogue
+// (paper §5.5.1). Inserts rebalance by splitting and are therefore more
+// expensive than finds, which is exactly the asymmetric critical-section
+// behaviour the paper's Table 1 measures.
+//
+// The tree itself is not goroutine-safe; the embedding store wraps it in a
+// single global lock, as UpScaleDB wraps its environment.
+package btree
+
+import "bytes"
+
+// order is the maximum number of children of an internal node.
+const order = 64
+
+// Tree is a B+-tree. The zero value is not usable; call New.
+type Tree struct {
+	root node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}}
+}
+
+// node is either an *inner or a *leaf.
+type node interface {
+	// insert adds k/v below this node; it returns a new right sibling and
+	// its separator key when the node split, and whether the key was new.
+	insert(k, v []byte) (sep []byte, right node, added bool)
+	// get returns the value for k.
+	get(k []byte) ([]byte, bool)
+	// del removes k, reporting whether it was present. (Underflow is
+	// tolerated: nodes may become sparse but never invalid; UpScaleDB-style
+	// workloads are insert/find heavy.)
+	del(k []byte) bool
+	// first returns the leftmost leaf under this node.
+	first() *leaf
+}
+
+type inner struct {
+	keys     [][]byte // len(children)-1 separators
+	children []node
+}
+
+type leaf struct {
+	keys [][]byte
+	vals [][]byte
+	next *leaf
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k []byte) ([]byte, bool) { return t.root.get(k) }
+
+// Insert stores v under k, replacing any existing value. It reports
+// whether the key was newly added.
+func (t *Tree) Insert(k, v []byte) bool {
+	sep, right, added := t.root.insert(k, v)
+	if right != nil {
+		t.root = &inner{keys: [][]byte{sep}, children: []node{t.root, right}}
+	}
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k []byte) bool {
+	ok := t.root.del(k)
+	if ok {
+		t.size--
+	}
+	// Collapse a root with a single child.
+	for {
+		in, isInner := t.root.(*inner)
+		if !isInner || len(in.children) != 1 {
+			break
+		}
+		t.root = in.children[0]
+	}
+	return ok
+}
+
+// Ascend calls fn for every key/value in order until fn returns false.
+func (t *Tree) Ascend(fn func(k, v []byte) bool) {
+	for l := t.root.first(); l != nil; l = l.next {
+		for i := range l.keys {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange calls fn for keys in [lo, hi) in order until fn returns
+// false.
+func (t *Tree) AscendRange(lo, hi []byte, fn func(k, v []byte) bool) {
+	t.Ascend(func(k, v []byte) bool {
+		if lo != nil && bytes.Compare(k, lo) < 0 {
+			return true
+		}
+		if hi != nil && bytes.Compare(k, hi) >= 0 {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// --- leaf ---
+
+// search returns the index of the first key >= k.
+func search(keys [][]byte, k []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	exact := lo < len(keys) && bytes.Equal(keys[lo], k)
+	return lo, exact
+}
+
+func (l *leaf) insert(k, v []byte) ([]byte, node, bool) {
+	i, exact := search(l.keys, k)
+	if exact {
+		l.vals[i] = v
+		return nil, nil, false
+	}
+	kc := append([]byte(nil), k...)
+	vc := v
+	l.keys = append(l.keys, nil)
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = kc
+	l.vals = append(l.vals, nil)
+	copy(l.vals[i+1:], l.vals[i:])
+	l.vals[i] = vc
+	if len(l.keys) < order {
+		return nil, nil, true
+	}
+	// Split.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([][]byte(nil), l.keys[mid:]...),
+		vals: append([][]byte(nil), l.vals[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.vals = l.vals[:mid:mid]
+	l.next = right
+	return right.keys[0], right, true
+}
+
+func (l *leaf) get(k []byte) ([]byte, bool) {
+	i, exact := search(l.keys, k)
+	if !exact {
+		return nil, false
+	}
+	return l.vals[i], true
+}
+
+func (l *leaf) del(k []byte) bool {
+	i, exact := search(l.keys, k)
+	if !exact {
+		return false
+	}
+	l.keys = append(l.keys[:i], l.keys[i+1:]...)
+	l.vals = append(l.vals[:i], l.vals[i+1:]...)
+	return true
+}
+
+func (l *leaf) first() *leaf { return l }
+
+// --- inner ---
+
+// childIndex returns which child to descend into for key k.
+func (in *inner) childIndex(k []byte) int {
+	i, exact := search(in.keys, k)
+	if exact {
+		return i + 1
+	}
+	return i
+}
+
+func (in *inner) insert(k, v []byte) ([]byte, node, bool) {
+	ci := in.childIndex(k)
+	sep, right, added := in.children[ci].insert(k, v)
+	if right == nil {
+		return nil, nil, added
+	}
+	in.keys = append(in.keys, nil)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = sep
+	in.children = append(in.children, nil)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = right
+	if len(in.children) <= order {
+		return nil, nil, added
+	}
+	// Split this inner node.
+	mid := len(in.keys) / 2
+	upKey := in.keys[mid]
+	rightNode := &inner{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return upKey, rightNode, added
+}
+
+func (in *inner) get(k []byte) ([]byte, bool) {
+	return in.children[in.childIndex(k)].get(k)
+}
+
+func (in *inner) del(k []byte) bool {
+	return in.children[in.childIndex(k)].del(k)
+}
+
+func (in *inner) first() *leaf { return in.children[0].first() }

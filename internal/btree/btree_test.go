@@ -1,0 +1,255 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatalf("empty len %d", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("x")); ok {
+		t.Fatal("Get on empty tree succeeded")
+	}
+	if tr.Delete([]byte("x")) {
+		t.Fatal("Delete on empty tree succeeded")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	if !tr.Insert([]byte("a"), []byte("1")) {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert([]byte("a"), []byte("2")) {
+		t.Fatal("overwrite reported as new")
+	}
+	v, ok := tr.Get([]byte("a"))
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len %d, want 1", tr.Len())
+	}
+}
+
+func TestManyInsertsSplits(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		tr.Insert(k, k)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i += 97 {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		if v, ok := tr.Get(k); !ok || !bytes.Equal(v, k) {
+			t.Fatalf("Get(%s) = %q, %v", k, v, ok)
+		}
+	}
+}
+
+func TestAscendSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("%010d", rng.Intn(1_000_000)))
+		tr.Insert(k, k)
+	}
+	var prev []byte
+	count := 0
+	tr.Ascend(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if count != tr.Len() {
+		t.Fatalf("iterated %d, len %d", count, tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("%03d", i))
+		tr.Insert(k, k)
+	}
+	var got []string
+	tr.AscendRange([]byte("010"), []byte("020"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("%03d", i))
+		tr.Insert(k, k)
+	}
+	n := 0
+	tr.Ascend(func(k, v []byte) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("%06d", i))
+		tr.Insert(k, k)
+	}
+	for i := 0; i < n; i += 2 {
+		k := []byte(fmt.Sprintf("%06d", i))
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%s) failed", k)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("%06d", i))
+		_, ok := tr.Get(k)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%s) = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("%04d", i))
+		tr.Insert(k, k)
+	}
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("%04d", i))
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%s) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len %d after deleting all", tr.Len())
+	}
+	tr.Insert([]byte("z"), []byte("z"))
+	if v, ok := tr.Get([]byte("z")); !ok || string(v) != "z" {
+		t.Fatal("tree unusable after full drain")
+	}
+}
+
+// TestMatchesReferenceModel drives the tree and a map with the same random
+// operations and checks observable equivalence.
+func TestMatchesReferenceModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[string]string{}
+		for op := 0; op < 3000; op++ {
+			k := fmt.Sprintf("%04d", rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0: // insert
+				v := fmt.Sprintf("v%d", op)
+				added := tr.Insert([]byte(k), []byte(v))
+				_, existed := ref[k]
+				if added == existed {
+					t.Logf("insert added=%v existed=%v", added, existed)
+					return false
+				}
+				ref[k] = v
+			case 1: // get
+				v, ok := tr.Get([]byte(k))
+				rv, rok := ref[k]
+				if ok != rok || (ok && string(v) != rv) {
+					t.Logf("get mismatch for %s", k)
+					return false
+				}
+			case 2: // delete
+				ok := tr.Delete([]byte(k))
+				_, rok := ref[k]
+				if ok != rok {
+					t.Logf("delete mismatch for %s", k)
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Logf("len %d vs ref %d", tr.Len(), len(ref))
+			return false
+		}
+		// Iteration yields exactly the reference keys in sorted order.
+		want := make([]string, 0, len(ref))
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		i := 0
+		okOrder := true
+		tr.Ascend(func(k, v []byte) bool {
+			if i >= len(want) || string(k) != want[i] {
+				okOrder = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okOrder && i == len(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyAliasing(t *testing.T) {
+	// The tree must copy keys: mutating the caller's buffer afterwards
+	// must not corrupt the index.
+	tr := New()
+	k := []byte("abc")
+	tr.Insert(k, []byte("v"))
+	k[0] = 'z'
+	if _, ok := tr.Get([]byte("abc")); !ok {
+		t.Fatal("key was aliased, lookup broken")
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("%012d", i))
+		tr.Insert(k, k)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("%012d", i))
+		tr.Insert(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("%012d", i%n))
+		tr.Get(k)
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ID identifies a schedulable entity (a thread in the paper; a registered
+// goroutine handle, process, connection or tenant here).
+type ID int64
+
+// Params configures an Accountant.
+type Params struct {
+	// Slice is the lock slice: the window during which a single owner may
+	// acquire and release the lock as often as it likes with fast-path cost
+	// and deferred accounting (paper §4.2). Slice 0 (k-SCL) makes every
+	// release a slice boundary. The paper's default is 2ms.
+	Slice time.Duration
+
+	// SlackRatio is how far an entity's cumulative usage fraction may exceed
+	// its share before a penalty is imposed. A small slack avoids penalty
+	// flapping when an entity sits exactly at its share.
+	SlackRatio float64
+
+	// BanCap bounds a single penalty. Zero means DefaultBanCap. It protects
+	// against one pathological critical section banning its thread for an
+	// unbounded period.
+	BanCap time.Duration
+
+	// JoinCredit bounds how much cumulative usage deficit a newly registered
+	// (or long-idle, re-registered) entity may carry: at registration its
+	// usage is floored so its deficit is at most JoinCredit. Without the
+	// floor a latecomer could monopolize the lock for as long as the
+	// incumbents have been running. Zero means DefaultJoinCredit.
+	JoinCredit time.Duration
+
+	// InactiveTimeout, when positive, is how long an entity may go without
+	// acquiring the lock before Expire removes it from the accounting
+	// (k-SCL's inactive-thread GC, paper §4.4; the paper uses 1s).
+	InactiveTimeout time.Duration
+}
+
+// Defaults mirroring the paper's configuration.
+const (
+	DefaultSlice      = 2 * time.Millisecond
+	DefaultSlackRatio = 0.01
+	DefaultBanCap     = 30 * time.Second
+	DefaultJoinCredit = 100 * time.Millisecond
+	// rescaleLimit keeps cumulative usage counters bounded; ratios are
+	// preserved when all counters are halved.
+	rescaleLimit = time.Duration(1) << 40 // ~18 minutes
+)
+
+func (p Params) withDefaults() Params {
+	if p.SlackRatio == 0 {
+		p.SlackRatio = DefaultSlackRatio
+	}
+	if p.BanCap == 0 {
+		p.BanCap = DefaultBanCap
+	}
+	if p.JoinCredit == 0 {
+		p.JoinCredit = DefaultJoinCredit
+	}
+	return p
+}
+
+type entity struct {
+	id          ID
+	weight      int64
+	usage       time.Duration // cumulative lock hold time (rescaled)
+	sliceUsage  time.Duration // hold time within the current slice ownership
+	holdStart   time.Duration
+	holding     bool
+	bannedUntil time.Duration
+	lastActive  time.Duration
+	registered  bool
+}
+
+// Release is the decision returned when an entity releases the lock.
+type Release struct {
+	// SliceExpired reports that the owner's slice is over and lock ownership
+	// must transfer to the next waiting entity.
+	SliceExpired bool
+	// Penalty is the ban to impose on this entity's next acquire attempt
+	// (zero if the entity is at or below its allotted usage ratio).
+	Penalty time.Duration
+	// Hold is the duration of the critical section that just ended.
+	Hold time.Duration
+}
+
+// Accountant tracks lock usage per entity and makes the SCL fairness
+// decisions: when a slice expires, and how long an over-user must be banned
+// so that every active entity receives lock opportunity proportional to its
+// weight. All times are caller-provided nanosecond timestamps on a single
+// monotonic clock.
+type Accountant struct {
+	params      Params
+	entities    map[ID]*entity
+	totalWeight int64
+	grandUsage  time.Duration // Σ usage over registered entities
+
+	sliceOwner ID
+	sliceStart time.Duration
+	hasOwner   bool
+}
+
+// NewAccountant returns an Accountant with the given parameters
+// (zero-valued fields take the documented defaults).
+func NewAccountant(p Params) *Accountant {
+	return &Accountant{
+		params:   p.withDefaults(),
+		entities: make(map[ID]*entity),
+	}
+}
+
+// Params returns the effective (defaulted) parameters.
+func (a *Accountant) Params() Params { return a.params }
+
+// Register adds an entity with the given weight to the accounting, or
+// updates its weight if already present. A new or returning entity is
+// granted at most JoinCredit of usage deficit so it cannot monopolize the
+// lock to "catch up" on an arbitrarily long past.
+func (a *Accountant) Register(id ID, weight int64, now time.Duration) {
+	if weight <= 0 {
+		panic(fmt.Sprintf("core: entity %d registered with non-positive weight %d", id, weight))
+	}
+	if e, ok := a.entities[id]; ok {
+		a.totalWeight += weight - e.weight
+		e.weight = weight
+		e.lastActive = now
+		return
+	}
+	e := &entity{id: id, weight: weight, lastActive: now, registered: true}
+	a.entities[id] = e
+	a.totalWeight += weight
+	// Floor the newcomer's usage so its deficit versus its fair share of the
+	// historical total is bounded by JoinCredit.
+	if fair := a.fairUsage(e); fair > a.params.JoinCredit {
+		e.usage = fair - a.params.JoinCredit
+		a.grandUsage += e.usage
+	}
+}
+
+// Unregister removes an entity (thread exit). Its history leaves the
+// books so remaining shares are computed over live entities only.
+func (a *Accountant) Unregister(id ID) {
+	e, ok := a.entities[id]
+	if !ok {
+		return
+	}
+	a.totalWeight -= e.weight
+	a.grandUsage -= e.usage
+	delete(a.entities, id)
+	if a.hasOwner && a.sliceOwner == id {
+		a.hasOwner = false
+	}
+}
+
+// Registered reports whether id is currently tracked.
+func (a *Accountant) Registered(id ID) bool {
+	_, ok := a.entities[id]
+	return ok
+}
+
+// Len returns the number of tracked entities.
+func (a *Accountant) Len() int { return len(a.entities) }
+
+// Share returns the entity's proportional share of lock opportunity,
+// weight_i / Σ weight over registered entities.
+func (a *Accountant) Share(id ID) float64 {
+	e, ok := a.entities[id]
+	if !ok || a.totalWeight == 0 {
+		return 0
+	}
+	return float64(e.weight) / float64(a.totalWeight)
+}
+
+// fairUsage is the usage entity e would have if the historical total had
+// been divided exactly by weight.
+func (a *Accountant) fairUsage(e *entity) time.Duration {
+	if a.totalWeight == 0 {
+		return 0
+	}
+	return time.Duration(float64(a.grandUsage) * float64(e.weight) / float64(a.totalWeight))
+}
+
+// StartSlice makes id the slice owner beginning at now. The enclosing lock
+// calls this when ownership transfers (or on first acquisition).
+func (a *Accountant) StartSlice(id ID, now time.Duration) {
+	a.sliceOwner = id
+	a.sliceStart = now
+	a.hasOwner = true
+	if e, ok := a.entities[id]; ok {
+		e.sliceUsage = 0
+	}
+}
+
+// SliceOwner returns the current slice owner, if any.
+func (a *Accountant) SliceOwner() (ID, bool) { return a.sliceOwner, a.hasOwner }
+
+// ClearSlice removes slice ownership (the lock went wholly idle).
+func (a *Accountant) ClearSlice() { a.hasOwner = false }
+
+// SliceEnd returns when the current slice expires (start + slice length).
+// Meaningless when there is no owner.
+func (a *Accountant) SliceEnd() time.Duration { return a.sliceStart + a.params.Slice }
+
+// SliceExpired reports whether the current slice has run past its length at
+// time now. With no owner it reports true.
+func (a *Accountant) SliceExpired(now time.Duration) bool {
+	if !a.hasOwner {
+		return true
+	}
+	return now-a.sliceStart >= a.params.Slice
+}
+
+// OnAcquire records that id acquired the lock at now. Entities acquiring a
+// lock they never registered for are auto-registered at the reference
+// weight (matching u-SCL's lazy per-thread allocation).
+func (a *Accountant) OnAcquire(id ID, now time.Duration) {
+	e, ok := a.entities[id]
+	if !ok {
+		a.Register(id, ReferenceWeight, now)
+		e = a.entities[id]
+	}
+	e.holding = true
+	e.holdStart = now
+	e.lastActive = now
+}
+
+// OnRelease records that id released the lock at now and returns the SCL
+// decision: whether the slice expired (ownership must transfer) and the
+// penalty, if any, to impose on this entity's next acquire attempt.
+//
+// The penalty implements the paper's rule (§4.2): it is computed at
+// release, imposed at next acquire, and only applied to entities whose
+// cumulative usage fraction exceeds their allotted share. Its magnitude
+// makes the just-ended ownership window average out to the entity's share:
+// after using the lock for U, the entity stays away for U/share − U.
+func (a *Accountant) OnRelease(id ID, now time.Duration) Release {
+	e, ok := a.entities[id]
+	if !ok || !e.holding {
+		return Release{}
+	}
+	hold := now - e.holdStart
+	if hold < 0 {
+		hold = 0
+	}
+	e.holding = false
+	e.lastActive = now
+	e.usage += hold
+	a.grandUsage += hold
+	if a.hasOwner && a.sliceOwner == id {
+		e.sliceUsage += hold
+	}
+	rel := Release{Hold: hold}
+	if !a.SliceExpired(now) {
+		return rel
+	}
+	rel.SliceExpired = true
+	rel.Penalty = a.penalty(e)
+	if rel.Penalty > 0 {
+		e.bannedUntil = now + rel.Penalty
+	}
+	if a.grandUsage > rescaleLimit {
+		a.rescale()
+	}
+	return rel
+}
+
+// penalty computes the ban for an entity whose slice just expired.
+func (a *Accountant) penalty(e *entity) time.Duration {
+	if a.grandUsage <= 0 || a.totalWeight <= 0 {
+		return 0
+	}
+	share := float64(e.weight) / float64(a.totalWeight)
+	if share >= 1 {
+		return 0 // lone entity: the lock is all theirs
+	}
+	ratio := float64(e.usage) / float64(a.grandUsage)
+	if ratio <= share+a.params.SlackRatio {
+		return 0 // at or under its allotment: no penalty (paper §4.2)
+	}
+	window := e.sliceUsage
+	if window <= 0 {
+		return 0
+	}
+	pen := time.Duration(float64(window)/share) - window
+	if pen > a.params.BanCap {
+		pen = a.params.BanCap
+	}
+	if pen < 0 {
+		pen = 0
+	}
+	return pen
+}
+
+// BannedUntil returns the absolute time until which id is banned from
+// acquiring (zero if not banned).
+func (a *Accountant) BannedUntil(id ID) time.Duration {
+	if e, ok := a.entities[id]; ok {
+		return e.bannedUntil
+	}
+	return 0
+}
+
+// Banned reports whether id is banned at time now.
+func (a *Accountant) Banned(id ID, now time.Duration) bool {
+	return a.BannedUntil(id) > now
+}
+
+// Usage returns the entity's cumulative (rescaled) lock hold time.
+func (a *Accountant) Usage(id ID) time.Duration {
+	if e, ok := a.entities[id]; ok {
+		return e.usage
+	}
+	return 0
+}
+
+// GrandUsage returns the cumulative (rescaled) hold time over all
+// registered entities.
+func (a *Accountant) GrandUsage() time.Duration { return a.grandUsage }
+
+// Expire removes entities that have not touched the lock since
+// now − InactiveTimeout (k-SCL's GC of stale per-thread state). It is a
+// no-op when InactiveTimeout is zero or for entities currently holding,
+// owning the slice, or still banned. It returns the IDs removed.
+func (a *Accountant) Expire(now time.Duration) []ID {
+	if a.params.InactiveTimeout <= 0 {
+		return nil
+	}
+	var gone []ID
+	for id, e := range a.entities {
+		if e.holding || (a.hasOwner && a.sliceOwner == id) || e.bannedUntil > now {
+			continue
+		}
+		if now-e.lastActive >= a.params.InactiveTimeout {
+			gone = append(gone, id)
+		}
+	}
+	for _, id := range gone {
+		a.Unregister(id)
+	}
+	return gone
+}
+
+// rescale halves every usage counter; fractions (and hence all future
+// penalty decisions) are unchanged, but the counters stay bounded over
+// arbitrarily long runs.
+func (a *Accountant) rescale() {
+	a.grandUsage = 0
+	for _, e := range a.entities {
+		e.usage /= 2
+		a.grandUsage += e.usage
+	}
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const sec = time.Second
+
+// newTwoThreadAccountant registers two nice-0 entities at t=0.
+func newTwoThreadAccountant(p Params) *Accountant {
+	a := NewAccountant(p)
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	return a
+}
+
+func TestToyExampleFigure2d(t *testing.T) {
+	// Paper Figure 2d / Table 2: T0 holds for 10s; with equal shares it must
+	// then be banned for 10s so T1 accumulates the same lock opportunity.
+	a := newTwoThreadAccountant(Params{Slice: DefaultSlice, JoinCredit: time.Hour})
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, 10*sec)
+	if !rel.SliceExpired {
+		t.Fatalf("10s hold with 2ms slice: slice must be expired")
+	}
+	if rel.Hold != 10*sec {
+		t.Fatalf("hold = %v, want 10s", rel.Hold)
+	}
+	if rel.Penalty != 10*sec {
+		t.Fatalf("penalty = %v, want 10s (U/share - U = 10/0.5 - 10)", rel.Penalty)
+	}
+	if got := a.BannedUntil(1); got != 20*sec {
+		t.Fatalf("bannedUntil = %v, want 20s", got)
+	}
+	if a.Banned(2, 10*sec) {
+		t.Fatalf("T1 must not be banned")
+	}
+}
+
+func TestNoPenaltyUnderShare(t *testing.T) {
+	a := newTwoThreadAccountant(Params{Slice: DefaultSlice, JoinCredit: time.Hour})
+	// Entity 2 has used far more than entity 1; entity 1's short hold must
+	// not be penalized even though its slice expired.
+	a.StartSlice(2, 0)
+	a.OnAcquire(2, 0)
+	a.OnRelease(2, 9*sec)
+
+	a.StartSlice(1, 9*sec)
+	a.OnAcquire(1, 9*sec)
+	rel := a.OnRelease(1, 10*sec)
+	if !rel.SliceExpired {
+		t.Fatalf("slice must be expired after 1s hold")
+	}
+	if rel.Penalty != 0 {
+		t.Fatalf("penalty = %v for under-share entity, want 0", rel.Penalty)
+	}
+}
+
+func TestLoneEntityNeverPenalized(t *testing.T) {
+	a := NewAccountant(Params{Slice: DefaultSlice})
+	a.Register(7, ReferenceWeight, 0)
+	a.StartSlice(7, 0)
+	for i := 0; i < 100; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		a.OnAcquire(7, at)
+		rel := a.OnRelease(7, at+9*time.Millisecond)
+		if rel.Penalty != 0 {
+			t.Fatalf("iteration %d: lone entity penalized %v", i, rel.Penalty)
+		}
+	}
+}
+
+func TestSliceNotExpiredNoTransfer(t *testing.T) {
+	a := newTwoThreadAccountant(Params{Slice: 2 * time.Millisecond})
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, time.Millisecond)
+	if rel.SliceExpired {
+		t.Fatalf("1ms hold within 2ms slice must not expire the slice")
+	}
+	if rel.Penalty != 0 {
+		t.Fatalf("no penalty within a live slice, got %v", rel.Penalty)
+	}
+}
+
+func TestZeroSliceAlwaysExpires(t *testing.T) {
+	// k-SCL: slice 0 means every release is a slice boundary.
+	a := NewAccountant(Params{Slice: 0, JoinCredit: time.Hour, SlackRatio: 0.0001})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, 10*time.Millisecond)
+	if !rel.SliceExpired {
+		t.Fatalf("zero slice: release must expire the slice")
+	}
+	// The bully (only user so far) gets banned for ~hold/share - hold = 10ms.
+	if rel.Penalty != 10*time.Millisecond {
+		t.Fatalf("penalty = %v, want 10ms", rel.Penalty)
+	}
+}
+
+func TestProportionalPenaltyTwoToOne(t *testing.T) {
+	// Weights 2:1. The heavy entity may hold 2/3 of cumulative usage before
+	// penalties; when over, penalty = U/share - U = U/2 for share 2/3.
+	a := NewAccountant(Params{Slice: DefaultSlice, JoinCredit: time.Hour})
+	a.Register(1, 2*ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, 6*sec)                            // ratio 1.0 > 2/3 -> penalized
+	want := time.Duration(float64(6*sec)/(2.0/3.0)) - 6*sec // = 3s
+	if rel.Penalty != want {
+		t.Fatalf("penalty = %v, want %v", rel.Penalty, want)
+	}
+}
+
+func TestBanCap(t *testing.T) {
+	a := newTwoThreadAccountant(Params{Slice: 0, BanCap: sec, JoinCredit: time.Hour})
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, 100*sec)
+	if rel.Penalty != sec {
+		t.Fatalf("penalty = %v, want capped at 1s", rel.Penalty)
+	}
+}
+
+func TestJoinCreditBoundsLatecomerDeficit(t *testing.T) {
+	a := NewAccountant(Params{Slice: DefaultSlice, JoinCredit: 100 * time.Millisecond})
+	a.Register(1, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, 60*sec)
+
+	a.Register(2, ReferenceWeight, 60*sec)
+	// Entity 2's fair share of the 60s history is 30s; with only 100ms of
+	// credit its booked usage must be 29.9s, not 0.
+	got := a.Usage(2)
+	want := 30*sec - 100*time.Millisecond
+	if got != want {
+		t.Fatalf("latecomer usage = %v, want %v", got, want)
+	}
+}
+
+func TestUnregisterUpdatesTotals(t *testing.T) {
+	a := newTwoThreadAccountant(Params{Slice: DefaultSlice})
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, sec)
+	a.Unregister(1)
+	if a.Registered(1) {
+		t.Fatalf("entity 1 still registered")
+	}
+	if a.GrandUsage() != 0 {
+		t.Fatalf("grand usage = %v after sole user left, want 0", a.GrandUsage())
+	}
+	if got := a.Share(2); got != 1 {
+		t.Fatalf("share(2) = %v after peer left, want 1", got)
+	}
+}
+
+func TestReRegisterUpdatesWeight(t *testing.T) {
+	a := NewAccountant(Params{})
+	a.Register(1, 1024, 0)
+	a.Register(2, 1024, 0)
+	a.Register(1, 3072, 0)
+	if got := a.Share(1); got != 0.75 {
+		t.Fatalf("share(1) = %v, want 0.75", got)
+	}
+}
+
+func TestExpireGC(t *testing.T) {
+	a := NewAccountant(Params{Slice: 0, InactiveTimeout: sec})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, time.Millisecond)
+	// Entity 2 never acquires; at t=2s it is stale, entity 1 is too
+	// (lastActive 1ms), so both would go -- but keep 1 alive with a touch.
+	a.OnAcquire(1, 1900*time.Millisecond)
+	a.OnRelease(1, 1901*time.Millisecond)
+	gone := a.Expire(2 * sec)
+	if len(gone) != 1 || gone[0] != 2 {
+		t.Fatalf("Expire removed %v, want [2]", gone)
+	}
+	if got := a.Share(1); got != 1 {
+		t.Fatalf("share(1) = %v after GC, want 1", got)
+	}
+}
+
+func TestExpireSkipsHoldersAndBanned(t *testing.T) {
+	a := NewAccountant(Params{Slice: 0, InactiveTimeout: sec, JoinCredit: time.Hour})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, 5*sec) // banned until ~10s
+	a.OnAcquire(2, 5*sec) // still holding at GC time
+	gone := a.Expire(7 * sec)
+	if len(gone) != 0 {
+		t.Fatalf("Expire removed %v, want none (1 banned, 2 holding)", gone)
+	}
+}
+
+func TestExpireDisabledByDefault(t *testing.T) {
+	a := newTwoThreadAccountant(Params{})
+	if gone := a.Expire(time.Hour); gone != nil {
+		t.Fatalf("Expire with no timeout removed %v", gone)
+	}
+}
+
+func TestRescalePreservesRatios(t *testing.T) {
+	a := NewAccountant(Params{Slice: 0, BanCap: time.Hour, JoinCredit: 1 << 62})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	now := time.Duration(0)
+	// Push grand usage past the rescale limit with a 3:1 usage pattern.
+	for i := 0; i < 10; i++ {
+		a.StartSlice(1, now)
+		a.OnAcquire(1, now)
+		now += 3 * (rescaleLimit / 20)
+		a.OnRelease(1, now)
+		a.StartSlice(2, now)
+		a.OnAcquire(2, now)
+		now += rescaleLimit / 20
+		a.OnRelease(2, now)
+	}
+	if a.GrandUsage() > rescaleLimit {
+		t.Fatalf("grand usage %v not rescaled below %v", a.GrandUsage(), rescaleLimit)
+	}
+	// Rescaling halves all counters at once, so it can only mildly decay
+	// history; the 3:1 pattern must still be clearly visible.
+	r := float64(a.Usage(1)) / float64(a.Usage(2))
+	if r < 2.5 || r > 3.6 {
+		t.Fatalf("usage ratio after rescale = %.3f, want ~3", r)
+	}
+	// A direct rescale preserves the instantaneous ratio exactly (modulo
+	// 1ns truncation) and keeps grand = Σ usage.
+	before := float64(a.Usage(1)) / float64(a.Usage(2))
+	a.rescale()
+	after := float64(a.Usage(1)) / float64(a.Usage(2))
+	if d := after - before; d < -0.001 || d > 0.001 {
+		t.Fatalf("rescale changed ratio: %.6f -> %.6f", before, after)
+	}
+	if a.Usage(1)+a.Usage(2) != a.GrandUsage() {
+		t.Fatalf("grand usage inconsistent after rescale")
+	}
+}
+
+func TestAutoRegisterOnAcquire(t *testing.T) {
+	a := NewAccountant(Params{})
+	a.OnAcquire(42, 0)
+	if !a.Registered(42) {
+		t.Fatalf("acquiring entity was not auto-registered")
+	}
+	rel := a.OnRelease(42, time.Millisecond)
+	if rel.Hold != time.Millisecond {
+		t.Fatalf("hold = %v, want 1ms", rel.Hold)
+	}
+}
+
+func TestRegisterNonPositiveWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Register with weight 0 did not panic")
+		}
+	}()
+	NewAccountant(Params{}).Register(1, 0, 0)
+}
+
+// TestPenaltyInvariants drives the accountant with random workloads and
+// checks structural invariants: penalties are within [0, BanCap], grand
+// usage equals the sum of per-entity usage, and an entity's booked usage
+// never decreases from a release.
+func TestPenaltyInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Params{
+			Slice:      time.Duration(rng.Intn(3)) * time.Millisecond,
+			BanCap:     time.Duration(1+rng.Intn(10)) * sec,
+			JoinCredit: time.Duration(1+rng.Intn(1000)) * time.Millisecond,
+		}
+		a := NewAccountant(p)
+		n := 2 + rng.Intn(6)
+		now := time.Duration(0)
+		for i := 0; i < n; i++ {
+			a.Register(ID(i), NiceToWeight(rng.Intn(10)-5), now)
+		}
+		for step := 0; step < 200; step++ {
+			id := ID(rng.Intn(n))
+			if !a.Registered(id) {
+				a.Register(id, ReferenceWeight, now)
+			}
+			if owner, ok := a.SliceOwner(); !ok || owner != id {
+				if a.SliceExpired(now) {
+					a.StartSlice(id, now)
+				}
+			}
+			before := a.Usage(id)
+			a.OnAcquire(id, now)
+			now += time.Duration(rng.Intn(5_000_000)) // up to 5ms holds
+			rel := a.OnRelease(id, now)
+			if rel.Penalty < 0 || rel.Penalty > a.Params().BanCap {
+				t.Logf("penalty %v outside [0, %v]", rel.Penalty, a.Params().BanCap)
+				return false
+			}
+			if a.Usage(id) < before {
+				t.Logf("usage of %d decreased: %v -> %v", id, before, a.Usage(id))
+				return false
+			}
+			if rng.Intn(20) == 0 {
+				a.Unregister(ID(rng.Intn(n)))
+			}
+			now += time.Duration(rng.Intn(1_000_000))
+		}
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			sum += a.Usage(ID(i))
+		}
+		if sum != a.GrandUsage() {
+			t.Logf("grand usage %v != sum %v", a.GrandUsage(), sum)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvergenceToShares simulates saturated alternation between two
+// entities with a 3:1 weight ratio and verifies cumulative usage converges
+// to the configured shares (the property behind paper Figure 6).
+func TestConvergenceToShares(t *testing.T) {
+	a := NewAccountant(Params{Slice: 2 * time.Millisecond, JoinCredit: time.Millisecond})
+	a.Register(1, 3*ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	now := time.Duration(0)
+	// Both entities always want the lock; the non-banned one with the lower
+	// usage/share runs a full slice. This models two saturated threads.
+	for i := 0; i < 4000; i++ {
+		id := ID(1)
+		if a.Banned(1, now) || (!a.Banned(2, now) &&
+			float64(a.Usage(1))/3 > float64(a.Usage(2))) {
+			id = 2
+		}
+		if a.Banned(id, now) {
+			// Jump to the earliest unban.
+			u1, u2 := a.BannedUntil(1), a.BannedUntil(2)
+			next := u1
+			if u2 > 0 && (next == 0 || u2 < next) {
+				next = u2
+			}
+			if next > now {
+				now = next
+			}
+			continue
+		}
+		a.StartSlice(id, now)
+		a.OnAcquire(id, now)
+		now += 2 * time.Millisecond
+		a.OnRelease(id, now)
+	}
+	ratio := float64(a.Usage(1)) / float64(a.Usage(2))
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("usage ratio = %.3f, want ~3.0", ratio)
+	}
+}
+
+func TestSliceEndAndClear(t *testing.T) {
+	a := NewAccountant(Params{Slice: 2 * time.Millisecond})
+	a.Register(1, ReferenceWeight, 0)
+	a.StartSlice(1, 5*time.Millisecond)
+	if got := a.SliceEnd(); got != 7*time.Millisecond {
+		t.Fatalf("SliceEnd = %v, want 7ms", got)
+	}
+	if a.SliceExpired(6 * time.Millisecond) {
+		t.Fatal("slice expired early")
+	}
+	if !a.SliceExpired(7 * time.Millisecond) {
+		t.Fatal("slice not expired at its end")
+	}
+	a.ClearSlice()
+	if _, ok := a.SliceOwner(); ok {
+		t.Fatal("owner survives ClearSlice")
+	}
+	if !a.SliceExpired(0) {
+		t.Fatal("no-owner slice must read as expired")
+	}
+}
+
+func TestUnregisterSliceOwnerClearsSlice(t *testing.T) {
+	a := NewAccountant(Params{Slice: time.Millisecond})
+	a.Register(1, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	a.Unregister(1)
+	if _, ok := a.SliceOwner(); ok {
+		t.Fatal("departed entity still owns the slice")
+	}
+}
+
+func TestOnReleaseWithoutAcquireIsNoop(t *testing.T) {
+	a := NewAccountant(Params{})
+	a.Register(1, ReferenceWeight, 0)
+	rel := a.OnRelease(1, time.Second)
+	if rel.Hold != 0 || rel.SliceExpired || rel.Penalty != 0 {
+		t.Fatalf("phantom release produced %+v", rel)
+	}
+}

@@ -1,0 +1,42 @@
+// Package core implements the clock-independent accounting engine behind
+// Scheduler-Cooperative Locks (Patel et al., EuroSys 2020): nice-value to
+// weight mapping (the CFS table), per-entity lock-usage tracking, the lock
+// slice state machine, and the penalty (ban) computation that guarantees
+// proportional lock opportunity.
+//
+// The engine is pure state + arithmetic: callers pass in the current time
+// (virtual nanoseconds in the simulator, wall-clock nanoseconds in the real
+// library), so every fairness decision is deterministic and unit-testable.
+// An Accountant is not safe for concurrent use; the enclosing lock
+// serializes access.
+package core
+
+// NiceWeights is the Linux CFS sched_prio_to_weight table, indexed by
+// nice+20. Each step of nice changes the CPU (and here, lock-opportunity)
+// share by ~1.25x; nice 0 maps to the reference weight 1024.
+var NiceWeights = [40]int64{
+	/* -20 */ 88761, 71755, 56483, 46273, 36291,
+	/* -15 */ 29154, 23254, 18705, 14949, 11916,
+	/* -10 */ 9548, 7620, 6100, 4904, 3906,
+	/*  -5 */ 3121, 2501, 1991, 1586, 1277,
+	/*   0 */ 1024, 820, 655, 526, 423,
+	/*   5 */ 335, 272, 215, 172, 137,
+	/*  10 */ 110, 87, 70, 56, 45,
+	/*  15 */ 36, 29, 23, 18, 15,
+}
+
+// ReferenceWeight is the weight of a nice-0 entity.
+const ReferenceWeight int64 = 1024
+
+// NiceToWeight maps a nice value (clamped to [-20, 19]) to its CFS weight,
+// using the same logic the CFS scheduler uses so that lock-opportunity
+// shares line up exactly with CPU shares (paper §4.3).
+func NiceToWeight(nice int) int64 {
+	if nice < -20 {
+		nice = -20
+	}
+	if nice > 19 {
+		nice = 19
+	}
+	return NiceWeights[nice+20]
+}

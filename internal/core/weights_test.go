@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func TestNiceToWeightReference(t *testing.T) {
+	if got := NiceToWeight(0); got != 1024 {
+		t.Errorf("NiceToWeight(0) = %d, want 1024", got)
+	}
+}
+
+func TestNiceToWeightPaperExample(t *testing.T) {
+	// Paper §4.3: "0 maps to 1024 and -3 maps to 1991".
+	if got := NiceToWeight(-3); got != 1991 {
+		t.Errorf("NiceToWeight(-3) = %d, want 1991", got)
+	}
+}
+
+func TestNiceToWeightClamps(t *testing.T) {
+	if got := NiceToWeight(-100); got != NiceToWeight(-20) {
+		t.Errorf("NiceToWeight(-100) = %d, want %d", got, NiceToWeight(-20))
+	}
+	if got := NiceToWeight(100); got != NiceToWeight(19) {
+		t.Errorf("NiceToWeight(100) = %d, want %d", got, NiceToWeight(19))
+	}
+}
+
+func TestNiceToWeightMonotonic(t *testing.T) {
+	for n := -19; n <= 19; n++ {
+		if NiceToWeight(n) >= NiceToWeight(n-1) {
+			t.Errorf("weight not strictly decreasing at nice %d: %d >= %d",
+				n, NiceToWeight(n), NiceToWeight(n-1))
+		}
+	}
+}
+
+func TestNiceToWeightRatioStep(t *testing.T) {
+	// Each nice step should change the share by roughly 1.25x.
+	for n := -20; n < 19; n++ {
+		ratio := float64(NiceToWeight(n)) / float64(NiceToWeight(n+1))
+		if ratio < 1.15 || ratio > 1.35 {
+			t.Errorf("nice %d -> %d weight ratio %.3f outside [1.15, 1.35]", n, n+1, ratio)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// AblationResult quantifies the contribution of u-SCL's design choices
+// (DESIGN.md §3, paper §4.3) on a standard contended workload (4 threads,
+// 2 CPUs, mixed 1µs/3µs critical sections):
+//
+//   - next-thread prefetch: the spinning head waiter vs a fully parked
+//     queue (wake round-trip on every slice transfer);
+//   - the lock slice: the 2ms default vs no slice at all (k-SCL style
+//     transfer on every release);
+//   - the ban (penalty): disabled by an effectively zero cap vs enabled.
+type AblationResult struct {
+	Horizon time.Duration
+	Rows    []AblationRow
+}
+
+// AblationRow is one configuration's outcome.
+type AblationRow struct {
+	Config   string
+	Ops      int64
+	Tput     float64
+	JainHold float64
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Ablation: u-SCL design choices (4 threads / 2 CPUs, CS 1µs+3µs, %v run)", r.Horizon),
+		"configuration", "ops", "ops/sec", "Jain(hold)")
+	for _, row := range r.Rows {
+		t.AddRow(row.Config, row.Ops, fmt.Sprintf("%.3fM", row.Tput/1e6),
+			fmt.Sprintf("%.3f", row.JainHold))
+	}
+	return t.String()
+}
+
+// Ablation runs the design-choice study.
+func Ablation(o Options) (*AblationResult, error) {
+	horizon := o.scaled(time.Second)
+	res := &AblationResult{Horizon: horizon}
+	configs := []struct {
+		label string
+		p     sim.USCLParams
+	}{
+		{"u-SCL (slice 2ms, prefetch, bans)", sim.USCLParams{Slice: 2 * time.Millisecond, Prefetch: true}},
+		{"no next-thread prefetch", sim.USCLParams{Slice: 2 * time.Millisecond}},
+		{"no slice (transfer every release)", sim.USCLParams{ZeroSlice: true, Prefetch: true}},
+		{"no bans (penalty capped at 1ns)", sim.USCLParams{Slice: 2 * time.Millisecond, Prefetch: true, BanCap: time.Nanosecond}},
+	}
+	for _, c := range configs {
+		e := sim.New(sim.Config{CPUs: 2, Horizon: horizon, Seed: o.Seed + 1})
+		lk := sim.NewSCL(e, c.p)
+		specs := []workload.Loop{
+			{CS: time.Microsecond, CPU: 0},
+			{CS: time.Microsecond, CPU: 1},
+			{CS: 3 * time.Microsecond, CPU: 0},
+			{CS: 3 * time.Microsecond, CPU: 1},
+		}
+		counters := workload.SpawnLoops(e, lk, specs)
+		e.Run()
+		s := lk.Stats()
+		res.Rows = append(res.Rows, AblationRow{
+			Config:   c.label,
+			Ops:      counters.Total(),
+			Tput:     float64(counters.Total()) / horizon.Seconds(),
+			JainHold: s.JainHold(0, 1, 2, 3),
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "ablation",
+		Paper: "Ablation (not a paper figure): contribution of prefetch, slices and bans to u-SCL's throughput and fairness",
+		Run:   func(o Options) (fmt.Stringer, error) { return Ablation(o) },
+	})
+}

@@ -1,0 +1,78 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §3, §5) on this repository's substrates. Each experiment
+// is a named runner that returns a rendered table plus structured data;
+// cmd/sclbench and the repository's bench_test.go drive the same runners.
+//
+// Durations default to a few virtual seconds rather than the paper's
+// 30-120s wall-clock runs — rates are time-invariant in the simulator —
+// and can be scaled with Options.Scale. EXPERIMENTS.md records
+// paper-versus-measured values for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Seed seeds every simulation in the experiment. Runs with equal seeds
+	// are identical.
+	Seed int64
+	// Scale multiplies the experiment's default duration (1.0 when zero).
+	// Benchmarks use small scales for quick runs.
+	Scale float64
+}
+
+func (o Options) scaled(d time.Duration) time.Duration {
+	if o.Scale <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * o.Scale)
+}
+
+// Runner executes one experiment and renders its result.
+type Runner struct {
+	// Name is the experiment id (e.g. "fig5a", "table1").
+	Name string
+	// Paper describes what the paper's table/figure shows.
+	Paper string
+	// Run executes the experiment.
+	Run func(Options) (fmt.Stringer, error)
+}
+
+// registry of all experiments, populated by the per-figure files.
+var registry = map[string]Runner{}
+
+func register(r Runner) {
+	if _, dup := registry[r.Name]; dup {
+		panic("experiments: duplicate " + r.Name)
+	}
+	registry[r.Name] = r
+}
+
+// Get returns the named experiment.
+func Get(name string) (Runner, bool) {
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Names returns all experiment ids in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all runners in name order.
+func All() []Runner {
+	out := make([]Runner, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/apps/upscale"
+	"scl/internal/metrics"
+)
+
+// Fig10Result reproduces paper Figures 1 and 10: the UpScaleDB workload
+// (4 find + 4 insert threads on 4 CPUs, one global environment lock) under
+// a pthread-style mutex and under u-SCL. With the mutex, insert threads'
+// long critical sections dominate the lock and hence the CPU (scheduler
+// subversion, Figure 1); u-SCL equalizes CPU and lock allocation and
+// raises find throughput by orders of magnitude (Figure 10b).
+type Fig10Result struct {
+	Horizon time.Duration
+	Runs    []Fig10Run
+}
+
+// Fig10Run is one lock's outcome.
+type Fig10Run struct {
+	Lock       string
+	Threads    []upscale.ThreadResult
+	FindTput   float64
+	InsertTput float64
+	JainHold   float64
+	LockUtil   float64
+}
+
+// String renders both runs with per-thread CPU breakdowns.
+func (r *Fig10Result) String() string {
+	out := ""
+	for _, run := range r.Runs {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 1/10 (%s): UpScaleDB 4 find + 4 insert threads, 4 CPUs, %v run", run.Lock, r.Horizon),
+			"thread", "ops", "cpu total", "cpu hold", "cpu wait+other", "lock hold")
+		for _, th := range run.Threads {
+			t.AddRow(th.Name, th.Ops,
+				th.CPUTime.Round(time.Millisecond).String(),
+				th.CPUHold.Round(time.Millisecond).String(),
+				(th.CPUTime - th.CPUHold).Round(time.Millisecond).String(),
+				th.Hold.Round(time.Millisecond).String())
+		}
+		out += t.String()
+		out += fmt.Sprintf("find: %.0f ops/sec  insert: %.0f ops/sec  Jain(hold): %.3f  lock util: %.0f%%\n\n",
+			run.FindTput, run.InsertTput, run.JainHold, run.LockUtil*100)
+	}
+	return out
+}
+
+// Fig10 runs the UpScaleDB comparison.
+func Fig10(o Options) (*Fig10Result, error) {
+	horizon := o.scaled(2 * time.Second)
+	res := &Fig10Result{Horizon: horizon}
+	for _, lock := range []string{"mutex", "uscl"} {
+		r := upscale.RunSim(upscale.SimConfig{
+			Lock:        lock,
+			FindThreads: 4, InsertThreads: 4,
+			CPUs: 4, Horizon: horizon, Preload: 50_000, Seed: o.Seed + 1,
+		})
+		label := "pthread mutex"
+		if lock == "uscl" {
+			label = "u-SCL"
+		}
+		res.Runs = append(res.Runs, Fig10Run{
+			Lock:       label,
+			Threads:    r.Threads,
+			FindTput:   r.FindTput,
+			InsertTput: r.InsertTput,
+			JainHold:   r.JainHold,
+			LockUtil:   r.LockUtil,
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig10",
+		Paper: "Figures 1 and 10: UpScaleDB with mutex (scheduler subversion) vs u-SCL (fair allocation, higher throughput)",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig10(o) },
+	})
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/apps/kyoto"
+	"scl/internal/metrics"
+)
+
+// Fig11Result reproduces paper Figure 11: KyotoCabinet with 7 readers and
+// 1 writer. The vanilla reader-preference rwlock starves the writer (the
+// paper measures fewer than ten writes in 30 seconds); RW-SCL with a 9:1
+// ratio restores the writer's 10% lock opportunity at a small cost in read
+// throughput.
+type Fig11Result struct {
+	Horizon time.Duration
+	Rows    []Fig11Row
+}
+
+// Fig11Row is one lock's outcome.
+type Fig11Row struct {
+	Lock       string
+	ReaderTput float64
+	WriterTput float64
+	ReaderHold time.Duration
+	WriterHold time.Duration
+	WriterFrac float64 // writer hold as a fraction of the run (opportunity: 10%)
+}
+
+// String renders the comparison.
+func (r *Fig11Result) String() string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 11: KyotoCabinet 7 readers + 1 writer, 8 CPUs, %v run", r.Horizon),
+		"lock", "read ops/sec", "write ops/sec", "reader hold", "writer hold", "writer hold / run")
+	for _, row := range r.Rows {
+		t.AddRow(row.Lock,
+			fmt.Sprintf("%.0f", row.ReaderTput),
+			fmt.Sprintf("%.0f", row.WriterTput),
+			row.ReaderHold.Round(time.Millisecond).String(),
+			row.WriterHold.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", row.WriterFrac*100))
+	}
+	return t.String()
+}
+
+// Fig11 runs the reader/writer starvation comparison.
+func Fig11(o Options) (*Fig11Result, error) {
+	horizon := o.scaled(time.Second)
+	res := &Fig11Result{Horizon: horizon}
+	for _, lock := range []string{"rwmutex", "rwscl"} {
+		r := kyoto.RunSim(kyoto.SimConfig{
+			Lock: lock, Readers: 7, Writers: 1,
+			CPUs: 8, Horizon: horizon, Entries: 100_000,
+			ReadWeight: 9, WriteWeight: 1, Seed: o.Seed + 1,
+		})
+		label := "pthread rwlock"
+		if lock == "rwscl" {
+			label = "RW-SCL 9:1"
+		}
+		frac := float64(r.WriterHold) / float64(horizon)
+		res.Rows = append(res.Rows, Fig11Row{
+			Lock:       label,
+			ReaderTput: r.ReaderTput,
+			WriterTput: r.WriterTput,
+			ReaderHold: r.ReaderHold,
+			WriterHold: r.WriterHold,
+			WriterFrac: frac,
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig11",
+		Paper: "Figure 11: KyotoCabinet — reader-preference rwlock starves the writer; RW-SCL 9:1 restores its share",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig11(o) },
+	})
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/apps/kyoto"
+	"scl/internal/metrics"
+)
+
+// Fig12Result reproduces paper Figure 12: RW-SCL scaling at a fixed 9:1
+// reader:writer ratio.
+//
+//   - fig12a (reader scaling): 1 writer, 1..15 readers — the 9:1 split
+//     holds regardless of the reader population.
+//   - fig12b (writer scaling): 1 reader, 1..4 writers — a single writer
+//     cannot fill its write slice (the lock idles during its non-critical
+//     sections); a second writer fills it; more writers add nothing.
+type Fig12Result struct {
+	Variant string
+	Horizon time.Duration
+	Rows    []Fig12Row
+}
+
+// Fig12Row is one population's outcome.
+type Fig12Row struct {
+	Readers, Writers       int
+	ReaderTput, WriterTput float64
+	WriterFrac             float64 // writer hold as a fraction of the run (opportunity: 10%)
+	WriterHold             time.Duration
+}
+
+// String renders the scaling series.
+func (r *Fig12Result) String() string {
+	title := "Figure 12a: RW-SCL reader scaling (1 writer, 9:1 ratio)"
+	if r.Variant == "b" {
+		title = "Figure 12b: RW-SCL writer scaling (1 reader, 9:1 ratio)"
+	}
+	t := metrics.NewTable(title,
+		"readers", "writers", "read ops/sec", "write ops/sec", "writer hold", "writer hold / run")
+	for _, row := range r.Rows {
+		t.AddRow(row.Readers, row.Writers,
+			fmt.Sprintf("%.0f", row.ReaderTput),
+			fmt.Sprintf("%.0f", row.WriterTput),
+			row.WriterHold.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", row.WriterFrac*100))
+	}
+	return t.String()
+}
+
+// Fig12 runs the scaling experiment.
+func Fig12(o Options, variant string) (*Fig12Result, error) {
+	horizon := o.scaled(500 * time.Millisecond)
+	res := &Fig12Result{Variant: variant, Horizon: horizon}
+	var populations [][2]int // readers, writers
+	if variant == "a" {
+		for _, r := range []int{1, 3, 7, 11, 15} {
+			populations = append(populations, [2]int{r, 1})
+		}
+	} else {
+		for _, w := range []int{1, 2, 3, 4} {
+			populations = append(populations, [2]int{1, w})
+		}
+	}
+	for _, pop := range populations {
+		readers, writers := pop[0], pop[1]
+		cpus := readers + writers
+		if cpus > 16 {
+			cpus = 16
+		}
+		var writerNCS time.Duration
+		if variant == "b" {
+			// Writers with real non-critical work: one writer cannot fill
+			// its write slice; a second one can (the paper's point).
+			writerNCS = 5 * time.Microsecond
+		}
+		r := kyoto.RunSim(kyoto.SimConfig{
+			Lock: "rwscl", Readers: readers, Writers: writers,
+			CPUs: cpus, Horizon: horizon, Entries: 100_000,
+			ReadWeight: 9, WriteWeight: 1, Seed: o.Seed + 1,
+			WriterNCS: writerNCS,
+		})
+		frac := float64(r.WriterHold) / float64(horizon)
+		res.Rows = append(res.Rows, Fig12Row{
+			Readers: readers, Writers: writers,
+			ReaderTput: r.ReaderTput, WriterTput: r.WriterTput,
+			WriterFrac: frac, WriterHold: r.WriterHold,
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig12a",
+		Paper: "Figure 12a: RW-SCL reader scaling — the 9:1 ratio holds for any reader count",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig12(o, "a") },
+	})
+	register(Runner{
+		Name:  "fig12b",
+		Paper: "Figure 12b: RW-SCL writer scaling — two writers fill the write slice, more add nothing",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig12(o, "b") },
+	})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// Table2Result reproduces the paper's §3 toy example (Figure 2 / Table 2):
+// two threads on two CPUs, 10s vs 1s critical sections, 20 second run.
+// For each lock it reports both threads' lock opportunity time (eq. 1) and
+// the Jain fairness index over LOT.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one lock's outcome.
+type Table2Row struct {
+	Lock       string
+	LOT0, LOT1 time.Duration
+	Hold0      time.Duration
+	Hold1      time.Duration
+	Jain       float64
+}
+
+// String renders the paper's Table 2.
+func (r *Table2Result) String() string {
+	t := metrics.NewTable(
+		"Table 2: Lock opportunity and fairness (toy example: CS 10s vs 1s, 20s run)",
+		"lock", "LOT T0 (s)", "LOT T1 (s)", "hold T0 (s)", "hold T1 (s)", "Jain")
+	for _, row := range r.Rows {
+		t.AddRow(row.Lock,
+			fmt.Sprintf("%.2f", row.LOT0.Seconds()),
+			fmt.Sprintf("%.2f", row.LOT1.Seconds()),
+			fmt.Sprintf("%.2f", row.Hold0.Seconds()),
+			fmt.Sprintf("%.2f", row.Hold1.Seconds()),
+			fmt.Sprintf("%.2f", row.Jain))
+	}
+	return t.String()
+}
+
+// Table2 runs the toy example across the four locks.
+func Table2(o Options) (*Table2Result, error) {
+	horizon := o.scaled(20 * time.Second)
+	res := &Table2Result{}
+	for _, kind := range workload.LockKinds {
+		e := sim.New(sim.Config{CPUs: 2, Horizon: horizon, Seed: o.Seed + 1})
+		lk := workload.MakeLock(e, kind, 0)
+		workload.SpawnLoops(e, lk, []workload.Loop{
+			{CS: o.scaled(10 * time.Second), CPU: 0, Name: "T0"},
+			{CS: o.scaled(1 * time.Second), CPU: 1, Name: "T1"},
+		})
+		e.Run()
+		s := lk.Stats()
+		res.Rows = append(res.Rows, Table2Row{
+			Lock:  workload.LockLabel(kind),
+			LOT0:  s.LOT(0),
+			LOT1:  s.LOT(1),
+			Hold0: s.Hold(0),
+			Hold1: s.Hold(1),
+			Jain:  s.JainLOT(0, 1),
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "table2",
+		Paper: "Table 2 / Figure 2: toy example LOT and Jain fairness for mutex, spinlock, ticket lock and the desired (u-SCL) behaviour",
+		Run:   func(o Options) (fmt.Stringer, error) { return Table2(o) },
+	})
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// Fig5Result reproduces paper Figure 5: thread groups with 1µs and 3µs
+// critical sections on dedicated CPUs, comparing hold-time fairness,
+// throughput and CPU utilization across the four locks. fig5a/b use 2
+// threads on 2 CPUs; fig5c/d use 16 threads on 16 CPUs.
+type Fig5Result struct {
+	Threads int
+	Horizon time.Duration
+	Rows    []Fig5Row
+}
+
+// Fig5Row is one lock's outcome.
+type Fig5Row struct {
+	Lock      string
+	HoldShort time.Duration // aggregate hold of the 1µs-CS group
+	HoldLong  time.Duration // aggregate hold of the 3µs-CS group
+	Ops       int64         // total iterations (throughput × horizon)
+	JainHold  float64       // per-thread hold fairness (Figure 5b/5d)
+	CPUUtil   float64       // Figure 5b/5d
+}
+
+// String renders the figure's data as a table.
+func (r *Fig5Result) String() string {
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 5: %d threads on %d CPUs, CS 1µs vs 3µs, %v run",
+			r.Threads, r.Threads, r.Horizon),
+		"lock", "hold 1µs-group", "hold 3µs-group", "ops", "ops/sec", "Jain(hold)", "CPU util")
+	for _, row := range r.Rows {
+		t.AddRow(row.Lock,
+			row.HoldShort.Round(time.Millisecond).String(),
+			row.HoldLong.Round(time.Millisecond).String(),
+			row.Ops,
+			fmt.Sprintf("%.2fM", float64(row.Ops)/r.Horizon.Seconds()/1e6),
+			fmt.Sprintf("%.3f", row.JainHold),
+			fmt.Sprintf("%.2f", row.CPUUtil))
+	}
+	return t.String()
+}
+
+// Fig5 runs the comparison with the given thread count (threads == CPUs;
+// half the threads run 1µs critical sections, half 3µs).
+func Fig5(o Options, threads int) (*Fig5Result, error) {
+	horizon := o.scaled(2 * time.Second)
+	res := &Fig5Result{Threads: threads, Horizon: horizon}
+	for _, kind := range workload.LockKinds {
+		e := sim.New(sim.Config{CPUs: threads, Horizon: horizon, Seed: o.Seed + 1})
+		lk := workload.MakeLock(e, kind, 0)
+		specs := make([]workload.Loop, threads)
+		for i := range specs {
+			cs := time.Microsecond
+			if i >= threads/2 {
+				cs = 3 * time.Microsecond
+			}
+			specs[i] = workload.Loop{CS: cs, CPU: i}
+		}
+		counters := workload.SpawnLoops(e, lk, specs)
+		e.Run()
+		s := lk.Stats()
+		row := Fig5Row{Lock: workload.LockLabel(kind), CPUUtil: e.Utilization()}
+		ids := make([]int, threads)
+		for i := 0; i < threads; i++ {
+			ids[i] = i
+			if i < threads/2 {
+				row.HoldShort += s.Hold(i)
+			} else {
+				row.HoldLong += s.Hold(i)
+			}
+		}
+		row.Ops = counters.Total()
+		row.JainHold = s.JainHold(ids...)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig5a",
+		Paper: "Figure 5a/5b: 2 threads on 2 CPUs (CS 1µs vs 3µs) — hold times, throughput, fairness, CPU utilization",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig5(o, 2) },
+	})
+	register(Runner{
+		Name:  "fig5c",
+		Paper: "Figure 5c/5d: 16 threads on 16 CPUs (8×1µs + 8×3µs) — hold times, throughput, fairness, CPU utilization",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig5(o, 16) },
+	})
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// Fig7Result reproduces paper Figure 7, the lock overhead study:
+//
+//   - fig7a: threads == CPUs swept 2..32 with zero-length critical and
+//     non-critical sections — pure lock-path overhead and its scaling.
+//   - fig7b: 2 CPUs with the thread count swept 2..32 and 1µs critical
+//     sections — oversubscription behaviour (spinners waste their CPU
+//     timeslices; sleeping locks stay flat).
+type Fig7Result struct {
+	Variant string // "a" or "b"
+	Horizon time.Duration
+	Rows    []Fig7Row
+}
+
+// Fig7Row is one (threads, lock) outcome.
+type Fig7Row struct {
+	Threads int
+	Lock    string
+	Ops     int64
+	Tput    float64 // ops/sec
+}
+
+// String renders the figure's series.
+func (r *Fig7Result) String() string {
+	title := "Figure 7a: threads = CPUs (2..32), CS = NCS = 0 — throughput"
+	if r.Variant == "b" {
+		title = "Figure 7b: 2 CPUs, threads 2..32, CS = 1µs — throughput"
+	}
+	t := metrics.NewTable(title, "threads", "lock", "ops", "ops/sec")
+	for _, row := range r.Rows {
+		t.AddRow(row.Threads, row.Lock, row.Ops, fmt.Sprintf("%.3fM", row.Tput/1e6))
+	}
+	return t.String()
+}
+
+var fig7Threads = []int{2, 4, 8, 16, 32}
+
+// Fig7 runs the overhead study.
+func Fig7(o Options, variant string) (*Fig7Result, error) {
+	// Empty critical sections at up to 32 CPUs generate enormous event
+	// counts; a short horizon is plenty since rates are time-invariant.
+	horizon := o.scaled(200 * time.Millisecond)
+	res := &Fig7Result{Variant: variant, Horizon: horizon}
+	for _, n := range fig7Threads {
+		for _, kind := range workload.LockKinds {
+			cpus := n
+			cs := time.Duration(0)
+			if variant == "b" {
+				cpus = 2
+				cs = time.Microsecond
+			}
+			e := sim.New(sim.Config{CPUs: cpus, Horizon: horizon, Seed: o.Seed + 1})
+			lk := workload.MakeLock(e, kind, 0)
+			specs := make([]workload.Loop, n)
+			for i := range specs {
+				specs[i] = workload.Loop{CS: cs, CPU: i % cpus}
+			}
+			counters := workload.SpawnLoops(e, lk, specs)
+			e.Run()
+			res.Rows = append(res.Rows, Fig7Row{
+				Threads: n,
+				Lock:    workload.LockLabel(kind),
+				Ops:     counters.Total(),
+				Tput:    float64(counters.Total()) / horizon.Seconds(),
+			})
+		}
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig7a",
+		Paper: "Figure 7a: lock overhead scaling with threads = CPUs 2..32, empty critical sections",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig7(o, "a") },
+	})
+	register(Runner{
+		Name:  "fig7b",
+		Paper: "Figure 7b: oversubscription — 2 CPUs, 2..32 threads, 1µs critical sections",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig7(o, "b") },
+	})
+}

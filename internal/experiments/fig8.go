@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// Fig8aResult reproduces paper Figure 8a: u-SCL throughput as a function
+// of lock slice size and critical section size (4 identical threads on 2
+// CPUs). Larger slices amortize ownership transfers and raise throughput;
+// slices at or below the critical-section length force a transfer per
+// release and collapse it.
+type Fig8aResult struct {
+	Horizon time.Duration
+	Slices  []time.Duration
+	CSs     []time.Duration
+	// Tput[i][j] is ops/sec with CS CSs[i] and slice Slices[j].
+	Tput [][]float64
+}
+
+// String renders the heatmap as a table (rows: CS, columns: slice).
+func (r *Fig8aResult) String() string {
+	header := []string{"CS \\ slice"}
+	for _, s := range r.Slices {
+		header = append(header, s.String())
+	}
+	t := metrics.NewTable("Figure 8a: u-SCL throughput (ops/sec) vs slice size × critical section size", header...)
+	for i, cs := range r.CSs {
+		row := make([]any, 0, len(r.Slices)+1)
+		row = append(row, cs.String())
+		for j := range r.Slices {
+			row = append(row, fmt.Sprintf("%.0fK", r.Tput[i][j]/1e3))
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+var (
+	fig8Slices = []time.Duration{time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond, 2 * time.Millisecond, 10 * time.Millisecond}
+	fig8CSs    = []time.Duration{time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond}
+)
+
+// Fig8a runs the slice-size × CS-size throughput sweep.
+func Fig8a(o Options) (*Fig8aResult, error) {
+	horizon := o.scaled(time.Second)
+	res := &Fig8aResult{Horizon: horizon, Slices: fig8Slices, CSs: fig8CSs}
+	for _, cs := range fig8CSs {
+		row := make([]float64, 0, len(fig8Slices))
+		for _, slice := range fig8Slices {
+			e := sim.New(sim.Config{CPUs: 2, Horizon: horizon, Seed: o.Seed + 1})
+			lk := sim.NewUSCL(e, slice)
+			specs := make([]workload.Loop, 4)
+			for i := range specs {
+				specs[i] = workload.Loop{CS: cs, CPU: i % 2}
+			}
+			counters := workload.SpawnLoops(e, lk, specs)
+			e.Run()
+			row = append(row, float64(counters.Total())/horizon.Seconds())
+		}
+		res.Tput = append(res.Tput, row)
+	}
+	return res, nil
+}
+
+// Fig8bResult reproduces paper Figure 8b: the distribution of u-SCL
+// acquisition wait times as a function of slice size, for 10µs critical
+// sections. Slices larger than the CS are bimodal (fast in-slice acquires
+// plus slice-length waits); slices at or below the CS make every thread
+// wait about one round of critical sections.
+type Fig8bResult struct {
+	Horizon time.Duration
+	Rows    []Fig8bRow
+}
+
+// Fig8bRow is one slice size's wait-time distribution.
+type Fig8bRow struct {
+	Slice   time.Duration
+	Summary metrics.Summary
+	// Fast is the fraction of acquisitions waiting under 1µs.
+	Fast float64
+}
+
+// String renders the distribution table.
+func (r *Fig8bResult) String() string {
+	t := metrics.NewTable(
+		"Figure 8b: u-SCL wait-time distribution vs slice size (CS 10µs, 4 threads / 2 CPUs)",
+		"slice", "<1µs", "p50", "p90", "p99", "max")
+	for _, row := range r.Rows {
+		t.AddRow(row.Slice.String(),
+			fmt.Sprintf("%.0f%%", row.Fast*100),
+			row.Summary.P50.String(),
+			row.Summary.P90.String(),
+			row.Summary.P99.String(),
+			row.Summary.Max.String())
+	}
+	return t.String()
+}
+
+// Fig8b runs the wait-time distribution sweep.
+func Fig8b(o Options) (*Fig8bResult, error) {
+	horizon := o.scaled(time.Second)
+	res := &Fig8bResult{Horizon: horizon}
+	for _, slice := range []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, 2 * time.Millisecond} {
+		e := sim.New(sim.Config{CPUs: 2, Horizon: horizon, Seed: o.Seed + 1})
+		lk := sim.NewUSCL(e, slice)
+		specs := make([]workload.Loop, 4)
+		for i := range specs {
+			specs[i] = workload.Loop{CS: 10 * time.Microsecond, CPU: i % 2}
+		}
+		workload.SpawnLoops(e, lk, specs)
+		e.Run()
+		var all []time.Duration
+		for i := 0; i < 4; i++ {
+			all = append(all, lk.Stats().WaitSamples(i)...)
+		}
+		res.Rows = append(res.Rows, Fig8bRow{
+			Slice:   slice,
+			Summary: metrics.Summarize(all),
+			Fast:    metrics.FractionBelow(all, time.Microsecond),
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig8a",
+		Paper: "Figure 8a: throughput heatmap over slice size × critical-section size",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig8a(o) },
+	})
+	register(Runner{
+		Name:  "fig8b",
+		Paper: "Figure 8b: wait-time distribution vs slice size (CS 10µs)",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig8b(o) },
+	})
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scl/internal/metrics"
+	"scl/internal/workload"
+	"scl/sim"
+)
+
+// Fig9Result reproduces paper Figure 9 (interactivity vs batching): one
+// batch thread with 100µs critical sections versus three interactive
+// threads (10µs critical sections, then a 100µs sleep) on two CPUs. The
+// table reports the interactive threads' acquisition wait-time
+// distribution per lock; for u-SCL, per slice size — slices at or below
+// the interactive CS bound interactive waits by one batch CS, while large
+// slices trade tail latency for throughput.
+type Fig9Result struct {
+	Horizon time.Duration
+	Rows    []Fig9Row
+}
+
+// Fig9Row is one lock configuration's interactive wait distribution.
+type Fig9Row struct {
+	Config  string
+	Summary metrics.Summary
+	// InteractiveOps counts completed interactive iterations.
+	InteractiveOps int64
+}
+
+// String renders the distribution table.
+func (r *Fig9Result) String() string {
+	t := metrics.NewTable(
+		"Figure 9: interactive-thread wait times (1 batch CS=100µs + 3 interactive CS=10µs/sleep=100µs, 2 CPUs)",
+		"lock", "p50", "p90", "p99", "max", "interactive ops")
+	for _, row := range r.Rows {
+		t.AddRow(row.Config,
+			row.Summary.P50.String(),
+			row.Summary.P90.String(),
+			row.Summary.P99.String(),
+			row.Summary.Max.String(),
+			row.InteractiveOps)
+	}
+	return t.String()
+}
+
+// Fig9 runs the interactivity experiment.
+func Fig9(o Options) (*Fig9Result, error) {
+	horizon := o.scaled(2 * time.Second)
+	res := &Fig9Result{Horizon: horizon}
+	type cfg struct {
+		label string
+		kind  string
+		slice time.Duration
+	}
+	cfgs := []cfg{
+		{"mutex", "mutex", 0},
+		{"spinlock", "spin", 0},
+		{"ticket", "ticket", 0},
+		{"u-SCL 1µs", "uscl", time.Microsecond},
+		{"u-SCL 10µs", "uscl", 10 * time.Microsecond},
+		{"u-SCL 100µs", "uscl", 100 * time.Microsecond},
+		{"u-SCL 2ms", "uscl", 2 * time.Millisecond},
+	}
+	for _, c := range cfgs {
+		e := sim.New(sim.Config{CPUs: 2, Horizon: horizon, Seed: o.Seed + 1})
+		lk := workload.MakeLock(e, c.kind, c.slice)
+		specs := []workload.Loop{
+			{CS: 100 * time.Microsecond, CPU: 0, Name: "batch"},
+			{CS: 10 * time.Microsecond, Sleep: 100 * time.Microsecond, CPU: 1, Name: "int-0"},
+			{CS: 10 * time.Microsecond, Sleep: 100 * time.Microsecond, CPU: 0, Name: "int-1"},
+			{CS: 10 * time.Microsecond, Sleep: 100 * time.Microsecond, CPU: 1, Name: "int-2"},
+		}
+		counters := workload.SpawnLoops(e, lk, specs)
+		e.Run()
+		var waits []time.Duration
+		for i := 1; i <= 3; i++ {
+			waits = append(waits, lk.Stats().WaitSamples(i)...)
+		}
+		res.Rows = append(res.Rows, Fig9Row{
+			Config:         c.label,
+			Summary:        metrics.Summarize(waits),
+			InteractiveOps: counters.Ops[1] + counters.Ops[2] + counters.Ops[3],
+		})
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "fig9",
+		Paper: "Figure 9: interactive vs batch thread wait-time CDF across locks and u-SCL slice sizes",
+		Run:   func(o Options) (fmt.Stringer, error) { return Fig9(o) },
+	})
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scl/internal/apps/kyoto"
+	"scl/internal/apps/upscale"
+	"scl/internal/hashtable"
+	"scl/internal/journal"
+	"scl/internal/lsm"
+	"scl/internal/metrics"
+	"scl/internal/vfs"
+)
+
+// Table1Result reproduces the paper's Table 1: the distribution of lock
+// hold times (critical-section lengths) across operations of six
+// application substrates. Unlike the simulator experiments, these are
+// real wall-clock measurements of the real data structures; the paper's
+// point — the same lock is held for wildly different durations depending
+// on operation type and state size — must hold in the measured shapes.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one (application, operation) hold-time distribution.
+type Table1Row struct {
+	App     string
+	Op      string
+	Summary metrics.Summary
+}
+
+// String renders the paper's Table 1 (times in microseconds).
+func (r *Table1Result) String() string {
+	t := metrics.NewTable(
+		"Table 1: lock hold time distributions (µs; real measurements on this repository's substrates)",
+		"application", "operation", "min", "25%", "50%", "90%", "99%")
+	for _, row := range r.Rows {
+		t.AddRow(row.App, row.Op,
+			metrics.Micros(row.Summary.Min),
+			metrics.Micros(row.Summary.P25),
+			metrics.Micros(row.Summary.P50),
+			metrics.Micros(row.Summary.P90),
+			metrics.Micros(row.Summary.P99))
+	}
+	return t.String()
+}
+
+// measure runs op n times and returns the per-call duration distribution.
+func measure(n int, op func()) metrics.Summary {
+	ds := make([]time.Duration, n)
+	for i := range ds {
+		start := time.Now()
+		op()
+		ds[i] = time.Since(start)
+	}
+	return metrics.Summarize(ds)
+}
+
+// Table1 measures every substrate. Counts scale with Options.Scale.
+func Table1(o Options) (*Table1Result, error) {
+	scale := o.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+	res := &Table1Result{}
+	add := func(app, op string, s metrics.Summary) {
+		res.Rows = append(res.Rows, Table1Row{App: app, Op: op, Summary: s})
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 1))
+
+	// memcached-style hash table (1M entries; the paper uses 10M).
+	{
+		const entries = 1_000_000
+		h := hashtable.New(entries)
+		val := bytes.Repeat([]byte{1}, 64)
+		for i := 0; i < entries; i++ {
+			h.Put(fmt.Sprintf("key-%d", i), val)
+		}
+		add("memcached (hashtable)", "Get", measure(n(200_000), func() {
+			h.Get(fmt.Sprintf("key-%d", rng.Intn(entries)))
+		}))
+		add("memcached (hashtable)", "Put", measure(n(200_000), func() {
+			h.Put(fmt.Sprintf("key-%d", rng.Intn(entries)), val)
+		}))
+	}
+
+	// leveldb-style LSM tree (empty database, as in the paper).
+	{
+		db := lsm.New(1 << 20)
+		val := bytes.Repeat([]byte{2}, 100)
+		i := 0
+		add("leveldb (LSM tree)", "Get", measure(n(100_000), func() {
+			db.Get(fmt.Sprintf("key-%08d", rng.Intn(1_000_000)))
+		}))
+		add("leveldb (LSM tree)", "Write", measure(n(200_000), func() {
+			db.Put(fmt.Sprintf("key-%08d", i), val)
+			i++
+		}))
+	}
+
+	// UpScaleDB-style B+-tree store (empty database, as in the paper).
+	{
+		s := upscale.NewStore(0)
+		add("UpScaleDB (B+ tree)", "Find", measure(n(100_000), func() { s.Find(rng) }))
+		add("UpScaleDB (B+ tree)", "Insert", measure(n(100_000), func() { s.Insert(rng) }))
+	}
+
+	// MongoDB-style journal: write sizes 1K, 10K, 100K.
+	for _, size := range []int{1 << 10, 10 << 10, 100 << 10} {
+		j := journal.New(0)
+		rec := bytes.Repeat([]byte{3}, size)
+		add("MongoDB (journal)", fmt.Sprintf("Write-%dK", size>>10),
+			measure(n(10_000), func() {
+				j.Append(rec)
+				j.Commit()
+			}))
+	}
+
+	// Linux rename: empty directory vs 1M-entry directory.
+	{
+		fs := vfs.New()
+		for _, d := range []string{"a", "b", "big"} {
+			fs.Mkdir(d)
+		}
+		fs.Populate("big", "f-", 1_000_000)
+		i := 0
+		add("Linux kernel (rename)", "Rename-empty", measure(n(50_000), func() {
+			name := fmt.Sprintf("r%d", i)
+			i++
+			fs.Create("a", name)
+			fs.Rename("a", name, "b", name)
+			fs.Unlink("b", name)
+		}))
+		i = 0
+		add("Linux kernel (rename)", "Rename-1M", measure(n(60), func() {
+			name := fmt.Sprintf("s%d", i)
+			i++
+			fs.Create("a", name)
+			fs.Rename("a", name, "big", name)
+			fs.Unlink("big", name)
+		}))
+	}
+
+	// Futex-style kernel hash table: duplicate inserts, delete-all.
+	{
+		h := hashtable.New(1 << 12)
+		val := []byte{4}
+		// Pre-populate chains with duplicates across a small key space.
+		for i := 0; i < 60_000; i++ {
+			h.InsertDup(fmt.Sprintf("addr-%d", rng.Intn(512)), val)
+		}
+		add("Linux kernel (hashtable)", "Insert", measure(n(100_000), func() {
+			h.InsertDup(fmt.Sprintf("addr-%d", rng.Intn(512)), val)
+		}))
+		add("Linux kernel (hashtable)", "Delete", measure(n(512), func() {
+			h.DeleteAll(fmt.Sprintf("addr-%d", rng.Intn(512)))
+		}))
+	}
+
+	// KyotoCabinet-style DB (used by Figures 11/12; not a paper Table 1
+	// row, but recorded for calibration).
+	{
+		db := kyoto.NewDB(100_000)
+		add("KyotoCabinet (hash DB)", "Read", measure(n(50_000), func() { db.Read(rng) }))
+		add("KyotoCabinet (hash DB)", "Write", measure(n(50_000), func() { db.Write(rng) }))
+	}
+	return res, nil
+}
+
+func init() {
+	register(Runner{
+		Name:  "table1",
+		Paper: "Table 1: lock hold time distributions across six application substrates (real measurements)",
+		Run:   func(o Options) (fmt.Stringer, error) { return Table1(o) },
+	})
+}

@@ -1,0 +1,130 @@
+// Package hashtable implements a chained hash table with two usage modes
+// that mirror the paper's Table 1 rows:
+//
+//   - a memcached-style cache (Get/Put of single values), where both
+//     operations touch one bucket and have short, similar hold times; and
+//   - a futex-style kernel table (InsertDup/DeleteAll) that tolerates
+//     duplicate keys and whose delete walks the whole chain removing every
+//     duplicate — making deletes much more expensive than inserts, the
+//     asymmetry the paper measures on its Linux-hashtable row.
+//
+// The table is not goroutine-safe; callers wrap it in the lock under study.
+package hashtable
+
+// entry is a chained key/value pair.
+type entry struct {
+	key  string
+	val  []byte
+	next *entry
+}
+
+// Table is a fixed-bucket-count chained hash table.
+type Table struct {
+	buckets []*entry
+	size    int
+}
+
+// New creates a table with the given number of buckets (rounded up to a
+// power of two, minimum 16).
+func New(buckets int) *Table {
+	n := 16
+	for n < buckets {
+		n <<= 1
+	}
+	return &Table{buckets: make([]*entry, n)}
+}
+
+// Len returns the number of entries (counting duplicates).
+func (t *Table) Len() int { return t.size }
+
+// fnv1a hashes the key.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (t *Table) bucket(key string) int {
+	return int(fnv1a(key) & uint64(len(t.buckets)-1))
+}
+
+// Put stores val under key, replacing the first existing entry (memcached
+// semantics). It reports whether the key was new.
+func (t *Table) Put(key string, val []byte) bool {
+	b := t.bucket(key)
+	for e := t.buckets[b]; e != nil; e = e.next {
+		if e.key == key {
+			e.val = val
+			return false
+		}
+	}
+	t.buckets[b] = &entry{key: key, val: val, next: t.buckets[b]}
+	t.size++
+	return true
+}
+
+// Get returns the first value stored under key.
+func (t *Table) Get(key string) ([]byte, bool) {
+	for e := t.buckets[t.bucket(key)]; e != nil; e = e.next {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	return nil, false
+}
+
+// Delete removes the first entry under key, reporting whether it existed.
+func (t *Table) Delete(key string) bool {
+	b := t.bucket(key)
+	p := &t.buckets[b]
+	for e := *p; e != nil; e = e.next {
+		if e.key == key {
+			*p = e.next
+			t.size--
+			return true
+		}
+		p = &e.next
+	}
+	return false
+}
+
+// InsertDup prepends an entry without checking for duplicates (the futex
+// infrastructure allows duplicate entries, paper Table 1).
+func (t *Table) InsertDup(key string, val []byte) {
+	b := t.bucket(key)
+	t.buckets[b] = &entry{key: key, val: val, next: t.buckets[b]}
+	t.size++
+}
+
+// DeleteAll removes every duplicate stored under key and returns how many
+// were removed. It walks the entire chain, which makes it substantially
+// more expensive than InsertDup on long chains.
+func (t *Table) DeleteAll(key string) int {
+	b := t.bucket(key)
+	removed := 0
+	p := &t.buckets[b]
+	for e := *p; e != nil; e = e.next {
+		if e.key == key {
+			*p = e.next
+			removed++
+			continue
+		}
+		p = &e.next
+	}
+	t.size -= removed
+	return removed
+}
+
+// CountDup returns the number of duplicates stored under key.
+func (t *Table) CountDup(key string) int {
+	n := 0
+	for e := t.buckets[t.bucket(key)]; e != nil; e = e.next {
+		if e.key == key {
+			n++
+		}
+	}
+	return n
+}

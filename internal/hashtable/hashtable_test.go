@@ -1,0 +1,134 @@
+package hashtable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	h := New(64)
+	if !h.Put("a", []byte("1")) {
+		t.Fatal("first Put not new")
+	}
+	if h.Put("a", []byte("2")) {
+		t.Fatal("overwrite reported new")
+	}
+	if v, ok := h.Get("a"); !ok || string(v) != "2" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if _, ok := h.Get("missing"); ok {
+		t.Fatal("Get(missing) succeeded")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len %d", h.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := New(16)
+	h.Put("x", []byte("1"))
+	if !h.Delete("x") {
+		t.Fatal("Delete failed")
+	}
+	if h.Delete("x") {
+		t.Fatal("double Delete succeeded")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len %d", h.Len())
+	}
+}
+
+func TestBucketRounding(t *testing.T) {
+	h := New(100)
+	if len(h.buckets) != 128 {
+		t.Fatalf("buckets = %d, want 128", len(h.buckets))
+	}
+	if h2 := New(0); len(h2.buckets) != 16 {
+		t.Fatalf("min buckets = %d, want 16", len(h2.buckets))
+	}
+}
+
+func TestManyKeysAcrossBuckets(t *testing.T) {
+	h := New(64)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if h.Len() != n {
+		t.Fatalf("len %d, want %d", h.Len(), n)
+	}
+	for i := 0; i < n; i += 371 {
+		k := fmt.Sprintf("key-%d", i)
+		if v, ok := h.Get(k); !ok || v[0] != byte(i) {
+			t.Fatalf("Get(%s) = %v %v", k, v, ok)
+		}
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := New(16)
+	for i := 0; i < 10; i++ {
+		h.InsertDup("futex-addr", []byte{byte(i)})
+	}
+	h.InsertDup("other", []byte("x"))
+	if got := h.CountDup("futex-addr"); got != 10 {
+		t.Fatalf("CountDup = %d, want 10", got)
+	}
+	if removed := h.DeleteAll("futex-addr"); removed != 10 {
+		t.Fatalf("DeleteAll removed %d, want 10", removed)
+	}
+	if got := h.CountDup("futex-addr"); got != 0 {
+		t.Fatalf("CountDup after DeleteAll = %d", got)
+	}
+	if _, ok := h.Get("other"); !ok {
+		t.Fatal("unrelated key removed by DeleteAll")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len %d, want 1", h.Len())
+	}
+}
+
+func TestDeleteAllEmpty(t *testing.T) {
+	h := New(16)
+	if n := h.DeleteAll("nothing"); n != 0 {
+		t.Fatalf("DeleteAll on empty = %d", n)
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(32)
+		ref := map[string]string{}
+		for op := 0; op < 2000; op++ {
+			k := fmt.Sprintf("%d", rng.Intn(200))
+			switch rng.Intn(3) {
+			case 0:
+				v := fmt.Sprintf("v%d", op)
+				added := h.Put(k, []byte(v))
+				if _, existed := ref[k]; added == existed {
+					return false
+				}
+				ref[k] = v
+			case 1:
+				v, ok := h.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && string(v) != rv) {
+					return false
+				}
+			case 2:
+				ok := h.Delete(k)
+				if _, rok := ref[k]; ok != rok {
+					return false
+				}
+				delete(ref, k)
+			}
+		}
+		return h.Len() == len(ref)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package lsm implements a small log-structured merge-tree storage engine
+// in the style of LevelDB (paper Table 1): puts go to an in-memory
+// memtable and are usually fast, but when the memtable fills, the writing
+// thread flushes and merges it into the sorted run stack inline — which is
+// why the paper measures LevelDB write hold times of microseconds at the
+// median and tens of milliseconds at the 99th percentile.
+//
+// Not goroutine-safe; the embedding application wraps it in the lock under
+// study.
+package lsm
+
+import "sort"
+
+// DefaultMemtableLimit is the flush threshold in bytes.
+const DefaultMemtableLimit = 1 << 20
+
+// DB is the LSM engine.
+type DB struct {
+	mem      map[string][]byte
+	memBytes int
+	limit    int
+	// runs is the stack of immutable sorted runs, newest first. Flushing
+	// merges same-magnitude runs (size-tiered compaction), so occasionally
+	// a flush cascades into a large merge — the heavy tail.
+	runs    []run
+	flushes int64
+	merges  int64
+}
+
+// run is an immutable sorted string table.
+type run struct {
+	keys []string
+	vals [][]byte
+}
+
+// New creates a DB with the given memtable flush threshold in bytes
+// (0 = DefaultMemtableLimit).
+func New(memtableLimit int) *DB {
+	if memtableLimit <= 0 {
+		memtableLimit = DefaultMemtableLimit
+	}
+	return &DB{mem: make(map[string][]byte), limit: memtableLimit}
+}
+
+// Put stores val under key. When the memtable exceeds its threshold the
+// calling thread performs the flush (and any cascading merges) inline.
+func (db *DB) Put(key string, val []byte) {
+	old, existed := db.mem[key]
+	db.mem[key] = val
+	db.memBytes += len(key) + len(val)
+	if existed {
+		db.memBytes -= len(key) + len(old)
+	}
+	if db.memBytes >= db.limit {
+		db.flush()
+	}
+}
+
+// Delete stores a tombstone for key.
+func (db *DB) Delete(key string) { db.Put(key, nil) }
+
+// Get returns the newest value for key, checking the memtable and then
+// each run from newest to oldest. A nil value (tombstone) reads as absent.
+func (db *DB) Get(key string) ([]byte, bool) {
+	if v, ok := db.mem[key]; ok {
+		return v, v != nil
+	}
+	for _, r := range db.runs {
+		i := sort.SearchStrings(r.keys, key)
+		if i < len(r.keys) && r.keys[i] == key {
+			v := r.vals[i]
+			return v, v != nil
+		}
+	}
+	return nil, false
+}
+
+// flush sorts the memtable into a new run and compacts same-magnitude
+// runs (size-tiered): while the newest two runs are within 2x of each
+// other, merge them. Most flushes stop immediately; occasionally a chain
+// of merges makes one write very expensive.
+func (db *DB) flush() {
+	if len(db.mem) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(db.mem))
+	for k := range db.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([][]byte, len(keys))
+	for i, k := range keys {
+		vals[i] = db.mem[k]
+	}
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	db.runs = append([]run{{keys: keys, vals: vals}}, db.runs...)
+	db.flushes++
+	for len(db.runs) >= 2 && len(db.runs[0].keys)*2 >= len(db.runs[1].keys) {
+		db.runs[1] = merge(db.runs[0], db.runs[1])
+		db.runs = db.runs[1:]
+		db.merges++
+	}
+}
+
+// merge combines two runs; newer values win.
+func merge(newer, older run) run {
+	keys := make([]string, 0, len(newer.keys)+len(older.keys))
+	vals := make([][]byte, 0, cap(keys))
+	i, j := 0, 0
+	for i < len(newer.keys) && j < len(older.keys) {
+		switch {
+		case newer.keys[i] < older.keys[j]:
+			keys = append(keys, newer.keys[i])
+			vals = append(vals, newer.vals[i])
+			i++
+		case newer.keys[i] > older.keys[j]:
+			keys = append(keys, older.keys[j])
+			vals = append(vals, older.vals[j])
+			j++
+		default:
+			keys = append(keys, newer.keys[i])
+			vals = append(vals, newer.vals[i])
+			i++
+			j++
+		}
+	}
+	for ; i < len(newer.keys); i++ {
+		keys = append(keys, newer.keys[i])
+		vals = append(vals, newer.vals[i])
+	}
+	for ; j < len(older.keys); j++ {
+		keys = append(keys, older.keys[j])
+		vals = append(vals, older.vals[j])
+	}
+	return run{keys: keys, vals: vals}
+}
+
+// Flushes returns how many memtable flushes have occurred.
+func (db *DB) Flushes() int64 { return db.flushes }
+
+// Merges returns how many run merges have occurred.
+func (db *DB) Merges() int64 { return db.merges }
+
+// Runs returns the current number of immutable runs.
+func (db *DB) Runs() int { return len(db.runs) }

@@ -1,0 +1,132 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPutGet(t *testing.T) {
+	db := New(0)
+	db.Put("a", []byte("1"))
+	if v, ok := db.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	db.Put("a", []byte("2"))
+	if v, _ := db.Get("a"); string(v) != "2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if _, ok := db.Get("missing"); ok {
+		t.Fatal("Get(missing) succeeded")
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	db := New(64) // tiny memtable: force flushes
+	db.Put("k", []byte("v"))
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("fill%d", i), []byte("xxxxxxxx"))
+	}
+	if _, ok := db.Get("k"); !ok {
+		t.Fatal("k lost after flushes")
+	}
+	db.Delete("k")
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("fill2-%d", i), []byte("xxxxxxxx"))
+	}
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("tombstone ignored after flush")
+	}
+}
+
+func TestFlushesAndMergesHappen(t *testing.T) {
+	db := New(1 << 10)
+	for i := 0; i < 20000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), []byte("0123456789abcdef"))
+	}
+	if db.Flushes() == 0 {
+		t.Fatal("no flushes")
+	}
+	if db.Merges() == 0 {
+		t.Fatal("no merges")
+	}
+	// Size-tiered invariant: runs strictly grow down the stack.
+	for i := 1; i < db.Runs(); i++ {
+		if len(db.runs[i-1].keys)*2 >= len(db.runs[i].keys) {
+			t.Fatalf("runs %d and %d not tiered: %d vs %d",
+				i-1, i, len(db.runs[i-1].keys), len(db.runs[i].keys))
+		}
+	}
+}
+
+func TestNewestValueWinsAcrossRuns(t *testing.T) {
+	db := New(256)
+	for round := 0; round < 50; round++ {
+		db.Put("hot", []byte(fmt.Sprintf("v%d", round)))
+		for i := 0; i < 20; i++ {
+			db.Put(fmt.Sprintf("fill-%d-%d", round, i), []byte("xxxxxxxxxxxxxxxx"))
+		}
+	}
+	if v, ok := db.Get("hot"); !ok || string(v) != "v49" {
+		t.Fatalf("Get(hot) = %q %v, want v49", v, ok)
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := New(512)
+		ref := map[string]string{}
+		for op := 0; op < 3000; op++ {
+			k := fmt.Sprintf("%d", rng.Intn(300))
+			switch rng.Intn(3) {
+			case 0:
+				v := fmt.Sprintf("v%d", op)
+				db.Put(k, []byte(v))
+				ref[k] = v
+			case 1:
+				v, ok := db.Get(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && string(v) != rv) {
+					return false
+				}
+			case 2:
+				db.Delete(k)
+				delete(ref, k)
+			}
+		}
+		for k, rv := range ref {
+			v, ok := db.Get(k)
+			if !ok || string(v) != rv {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLatencyHeavyTail(t *testing.T) {
+	// The Table 1 LevelDB property: most writes are fast, but flush/merge
+	// writes are orders of magnitude slower.
+	db := New(1 << 14)
+	var maxD, total time.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		db.Put(fmt.Sprintf("key-%08d", i), []byte("0123456789abcdef0123456789abcdef"))
+		d := time.Since(start)
+		total += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	mean := total / n
+	if maxD < 20*mean {
+		t.Fatalf("max write %v not ≫ mean %v: no heavy tail", maxD, mean)
+	}
+}

@@ -1,0 +1,42 @@
+// Package metrics provides the measurement primitives used throughout the
+// SCL reproduction: Jain's fairness index, lock-opportunity accounting,
+// quantile summaries, CDFs and fixed-width table rendering for the
+// experiment harness.
+package metrics
+
+// Jain computes Jain's fairness index over the given allocations:
+//
+//	J(x) = (Σ x_i)² / (n · Σ x_i²)
+//
+// The index is 1 when all allocations are equal and approaches 1/n as a
+// single entity dominates. By convention Jain of an empty or all-zero
+// vector is 1 (a degenerate, perfectly "fair" allocation of nothing).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// WeightedJain computes Jain's index over allocations normalized by weight,
+// i.e. Jain(x_i / w_i). It measures how closely allocations track the
+// desired proportional shares: 1.0 means every entity received exactly its
+// weighted share. Entries with non-positive weight are skipped.
+func WeightedJain(xs, weights []float64) float64 {
+	norm := make([]float64, 0, len(xs))
+	for i, x := range xs {
+		if i >= len(weights) || weights[i] <= 0 {
+			continue
+		}
+		norm = append(norm, x/weights[i])
+	}
+	return Jain(norm)
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between closest ranks. It does not modify xs. Quantile of
+// an empty slice is 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a five-number-plus summary of a sample of durations, matching
+// the columns of the paper's Table 1 (min / 25% / 50% / 90% / 99%).
+type Summary struct {
+	Count int
+	Min   time.Duration
+	P25   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+}
+
+// Summarize computes a Summary from a sample of durations.
+func Summarize(ds []time.Duration) Summary {
+	if len(ds) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(ds))
+	var total float64
+	for i, d := range ds {
+		sorted[i] = float64(d)
+		total += float64(d)
+	}
+	sort.Float64s(sorted)
+	q := func(p float64) time.Duration { return time.Duration(quantileSorted(sorted, p)) }
+	return Summary{
+		Count: len(ds),
+		Min:   time.Duration(sorted[0]),
+		P25:   q(0.25),
+		P50:   q(0.50),
+		P90:   q(0.90),
+		P99:   q(0.99),
+		Max:   time.Duration(sorted[len(sorted)-1]),
+		Mean:  time.Duration(total / float64(len(ds))),
+	}
+}
+
+// Micros renders a duration as microseconds with two decimals, the unit
+// used by the paper's Table 1.
+func Micros(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Microsecond))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64 // fraction of samples ≤ Value
+}
+
+// CDF computes an empirical CDF of the sample, down-sampled to at most
+// points entries (evenly spaced in rank). The last point always has
+// Fraction 1 and carries the sample maximum.
+func CDF(ds []time.Duration, points int) []CDFPoint {
+	if len(ds) == 0 || points <= 0 {
+		return nil
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if points > len(sorted) {
+		points = len(sorted)
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		rank := i*len(sorted)/points - 1
+		out = append(out, CDFPoint{
+			Value:    sorted[rank],
+			Fraction: float64(rank+1) / float64(len(sorted)),
+		})
+	}
+	return out
+}
+
+// FractionBelow reports the fraction of samples strictly below limit.
+func FractionBelow(ds []time.Duration, limit time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range ds {
+		if d < limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ds))
+}

@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Reservoir keeps a bounded uniform sample of an unbounded stream of
+// durations (Vitter's algorithm R) so long simulations can record latency
+// distributions without unbounded memory. The RNG is caller-seeded, keeping
+// simulations deterministic.
+type Reservoir struct {
+	cap     int
+	seen    int64
+	samples []time.Duration
+	rng     *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most cap samples, drawing
+// replacement decisions from the given seed.
+func NewReservoir(cap int, seed int64) *Reservoir {
+	if cap <= 0 {
+		cap = 1
+	}
+	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(d time.Duration) {
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if i := r.rng.Int63n(r.seen); i < int64(r.cap) {
+		r.samples[i] = d
+	}
+}
+
+// Seen reports how many observations were offered in total.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Samples returns the retained sample. The returned slice is owned by the
+// reservoir; callers must not modify it while still adding.
+func (r *Reservoir) Samples() []time.Duration { return r.samples }
+
+// Summary summarizes the retained sample.
+func (r *Reservoir) Summary() Summary { return Summarize(r.samples) }

@@ -1,0 +1,225 @@
+// Package vfs implements a small in-memory filesystem namespace used to
+// reproduce the paper's Linux rename-lock experiments (§5.5.3). Directory
+// entries are stored as unsorted entry lists, like the directory blocks of
+// ext4 with dir_index disabled:
+//
+//   - inserting a name (create, or the destination side of a rename)
+//     always scans the whole directory — the duplicate check and
+//     free-slot search of ext4_add_entry. This is what makes a
+//     cross-directory rename into a million-entry directory hold the
+//     global rename lock for milliseconds while a rename between empty
+//     directories takes microseconds (paper Table 1: 2µs vs ~10ms).
+//   - name lookups (unlink, exists, the source side of a rename) go
+//     through a dentry cache, as in Linux: a recently created or renamed
+//     name resolves in O(1) without rescanning the directory.
+//
+// The namespace itself is not goroutine-safe. Cross-directory renames in
+// Linux serialize on the global s_vfs_rename_mutex; the embedding
+// application supplies that lock, which is exactly the lock under study.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by namespace operations.
+var (
+	ErrNotFound = errors.New("vfs: no such file or directory")
+	ErrExists   = errors.New("vfs: file exists")
+)
+
+// dcacheCap bounds the dentry cache; when full it is dropped wholesale
+// (a crude but deterministic stand-in for LRU eviction).
+const dcacheCap = 1 << 16
+
+// dckey identifies a cached directory entry.
+type dckey struct{ dir, name string }
+
+// FS is a flat namespace of directories containing files.
+type FS struct {
+	dirs   map[string]*Dir
+	dcache map[dckey]int // (dir, name) -> index in Dir.entries
+}
+
+// Dir is one directory: an unsorted list of names, scanned linearly like
+// an ext2/ext4-without-dir_index directory block list.
+type Dir struct {
+	name    string
+	entries []string
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{dirs: make(map[string]*Dir), dcache: make(map[dckey]int)}
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(name string) error {
+	if _, ok := fs.dirs[name]; ok {
+		return fmt.Errorf("mkdir %s: %w", name, ErrExists)
+	}
+	fs.dirs[name] = &Dir{name: name}
+	return nil
+}
+
+// Dir returns a directory by name.
+func (fs *FS) Dir(name string) (*Dir, error) {
+	d, ok := fs.dirs[name]
+	if !ok {
+		return nil, fmt.Errorf("dir %s: %w", name, ErrNotFound)
+	}
+	return d, nil
+}
+
+// Len returns the number of entries in the directory.
+func (d *Dir) Len() int { return len(d.entries) }
+
+// scan linearly searches the directory for name. Deliberately O(n): this
+// is the directory-block walk.
+func (d *Dir) scan(name string) int {
+	for i, e := range d.entries {
+		if e == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// cachePut remembers a name's position, evicting everything when full.
+func (fs *FS) cachePut(dir *Dir, name string, idx int) {
+	if len(fs.dcache) >= dcacheCap {
+		fs.dcache = make(map[dckey]int)
+	}
+	fs.dcache[dckey{dir.name, name}] = idx
+}
+
+// lookup finds name in dir, serving from the dentry cache when possible
+// and caching the result of a successful scan.
+func (fs *FS) lookup(dir *Dir, name string) int {
+	key := dckey{dir.name, name}
+	if idx, ok := fs.dcache[key]; ok {
+		if idx < len(dir.entries) && dir.entries[idx] == name {
+			return idx
+		}
+		delete(fs.dcache, key) // stale
+	}
+	idx := dir.scan(name)
+	if idx >= 0 {
+		fs.cachePut(dir, name, idx)
+	}
+	return idx
+}
+
+// insertScan performs the full duplicate-check/free-slot scan that
+// inserting into an unindexed directory requires (ext4_add_entry). The
+// dentry cache deliberately does not short-circuit it.
+func (fs *FS) insertScan(dir *Dir, name string) int {
+	return dir.scan(name)
+}
+
+// removeAt swap-removes the entry at idx, keeping the dentry cache's
+// index for the moved entry consistent.
+func (fs *FS) removeAt(dir *Dir, idx int) {
+	name := dir.entries[idx]
+	last := len(dir.entries) - 1
+	moved := dir.entries[last]
+	dir.entries[idx] = moved
+	dir.entries = dir.entries[:last]
+	delete(fs.dcache, dckey{dir.name, name})
+	if idx != last {
+		if _, ok := fs.dcache[dckey{dir.name, moved}]; ok {
+			fs.dcache[dckey{dir.name, moved}] = idx
+		}
+	}
+}
+
+// append adds a name at the directory's end and caches its position.
+func (fs *FS) append(dir *Dir, name string) {
+	dir.entries = append(dir.entries, name)
+	fs.cachePut(dir, name, len(dir.entries)-1)
+}
+
+// Create adds a file to the directory after a full duplicate scan.
+func (fs *FS) Create(dir, name string) error {
+	d, err := fs.Dir(dir)
+	if err != nil {
+		return err
+	}
+	if fs.insertScan(d, name) >= 0 {
+		return fmt.Errorf("create %s/%s: %w", dir, name, ErrExists)
+	}
+	fs.append(d, name)
+	return nil
+}
+
+// Unlink removes a file from the directory. A dentry-cache hit (the
+// common case for recently created names) makes this O(1).
+func (fs *FS) Unlink(dir, name string) error {
+	d, err := fs.Dir(dir)
+	if err != nil {
+		return err
+	}
+	i := fs.lookup(d, name)
+	if i < 0 {
+		return fmt.Errorf("unlink %s/%s: %w", dir, name, ErrNotFound)
+	}
+	fs.removeAt(d, i)
+	return nil
+}
+
+// Exists reports whether dir contains name (dentry cache first).
+func (fs *FS) Exists(dir, name string) bool {
+	d, err := fs.Dir(dir)
+	if err != nil {
+		return false
+	}
+	return fs.lookup(d, name) >= 0
+}
+
+// Rename moves src/srcName to dst/dstName. The source entry resolves via
+// the dentry cache, but the destination side performs the full
+// insert scan, so the cost is proportional to the destination directory's
+// size. Callers performing cross-directory renames must hold the
+// filesystem's global rename lock, as the Linux VFS does.
+func (fs *FS) Rename(src, srcName, dst, dstName string) error {
+	sd, err := fs.Dir(src)
+	if err != nil {
+		return err
+	}
+	dd, err := fs.Dir(dst)
+	if err != nil {
+		return err
+	}
+	si := fs.lookup(sd, srcName)
+	if si < 0 {
+		return fmt.Errorf("rename %s/%s: %w", src, srcName, ErrNotFound)
+	}
+	if di := fs.insertScan(dd, dstName); di >= 0 {
+		// POSIX rename replaces an existing destination.
+		if sd == dd && di == si {
+			return nil
+		}
+		fs.removeAt(dd, di)
+		// The source index may have moved if src == dst.
+		si = fs.lookup(sd, srcName)
+	}
+	fs.removeAt(sd, si)
+	fs.append(dd, dstName)
+	return nil
+}
+
+// Populate bulk-creates n files named with the given prefix, bypassing the
+// per-create duplicate scan (test and benchmark setup only — building a
+// million-entry directory through Create would cost O(n²)). Populated
+// entries are not cached, like a directory never read since mount.
+func (fs *FS) Populate(dir, prefix string, n int) error {
+	d, err := fs.Dir(dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		d.entries = append(d.entries, fmt.Sprintf("%s%028d", prefix, i))
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newFS(t *testing.T, dirs ...string) *FS {
+	t.Helper()
+	fs := New()
+	for _, d := range dirs {
+		if err := fs.Mkdir(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+func TestMkdirCreateUnlink(t *testing.T) {
+	fs := newFS(t, "a")
+	if err := fs.Mkdir("a"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Mkdir: %v", err)
+	}
+	if err := fs.Create("a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("a", "f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Create: %v", err)
+	}
+	if !fs.Exists("a", "f") {
+		t.Fatal("f missing")
+	}
+	if err := fs.Unlink("a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("a", "f") {
+		t.Fatal("f still present")
+	}
+	if err := fs.Unlink("a", "f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double unlink: %v", err)
+	}
+	if err := fs.Create("nodir", "f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("create in missing dir: %v", err)
+	}
+}
+
+func TestRenameMovesFile(t *testing.T) {
+	fs := newFS(t, "src", "dst")
+	if err := fs.Create("src", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("src", "f", "dst", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("src", "f") || !fs.Exists("dst", "g") {
+		t.Fatal("rename did not move the file")
+	}
+}
+
+func TestRenameReplacesDestination(t *testing.T) {
+	fs := newFS(t, "src", "dst")
+	fs.Create("src", "f")
+	fs.Create("dst", "g")
+	if err := fs.Rename("src", "f", "dst", "g"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := fs.Dir("dst")
+	if d.Len() != 1 || !fs.Exists("dst", "g") {
+		t.Fatalf("dst has %d entries", d.Len())
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	fs := newFS(t, "src", "dst")
+	if err := fs.Rename("src", "nope", "dst", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("rename missing: %v", err)
+	}
+}
+
+func TestRenameSameDirectory(t *testing.T) {
+	fs := newFS(t, "d")
+	fs.Create("d", "a")
+	fs.Create("d", "b")
+	if err := fs.Rename("d", "a", "d", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("d", "a") || !fs.Exists("d", "c") || !fs.Exists("d", "b") {
+		t.Fatal("same-dir rename wrong")
+	}
+	// Rename onto itself is a no-op.
+	if err := fs.Rename("d", "b", "d", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("d", "b") {
+		t.Fatal("self-rename removed the file")
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	fs := newFS(t, "big")
+	if err := fs.Populate("big", "file-", 10000); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := fs.Dir("big")
+	if d.Len() != 10000 {
+		t.Fatalf("len %d", d.Len())
+	}
+}
+
+func TestRenameCostGrowsWithDirectorySize(t *testing.T) {
+	// The defining property for the paper's Figure 13: renaming into a
+	// large directory costs far more than into an empty one.
+	fs := newFS(t, "src", "small", "big")
+	if err := fs.Populate("big", "f-", 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	measure := func(dst string) time.Duration {
+		fs.Create("src", "probe")
+		start := time.Now()
+		if err := fs.Rename("src", "probe", dst, "probe"); err != nil {
+			t.Fatal(err)
+		}
+		el := time.Since(start)
+		fs.Unlink(dst, "probe")
+		return el
+	}
+	small := measure("small")
+	big := measure("big")
+	if big < 50*small {
+		t.Fatalf("big-dir rename %v not ≫ small-dir rename %v", big, small)
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New()
+		fs.Mkdir("a")
+		fs.Mkdir("b")
+		type loc struct{ dir, name string }
+		ref := map[loc]bool{}
+		dirs := []string{"a", "b"}
+		for op := 0; op < 1000; op++ {
+			d := dirs[rng.Intn(2)]
+			n := fmt.Sprintf("f%d", rng.Intn(30))
+			switch rng.Intn(3) {
+			case 0:
+				err := fs.Create(d, n)
+				if (err == nil) == ref[loc{d, n}] {
+					return false
+				}
+				ref[loc{d, n}] = true
+			case 1:
+				err := fs.Unlink(d, n)
+				if (err == nil) != ref[loc{d, n}] {
+					return false
+				}
+				delete(ref, loc{d, n})
+			case 2:
+				d2 := dirs[rng.Intn(2)]
+				n2 := fmt.Sprintf("f%d", rng.Intn(30))
+				err := fs.Rename(d, n, d2, n2)
+				if (err == nil) != ref[loc{d, n}] {
+					return false
+				}
+				if err == nil {
+					if !(d == d2 && n == n2) {
+						delete(ref, loc{d, n})
+					}
+					ref[loc{d2, n2}] = true
+				}
+			}
+		}
+		for l, present := range ref {
+			if present != fs.Exists(l.dir, l.name) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDentryCacheFastUnlink(t *testing.T) {
+	// A just-created name in a huge directory unlinks in O(1) via the
+	// dentry cache, while the rename *into* the directory still scans.
+	fs := newFS(t, "big", "src")
+	fs.Populate("big", "f-", 1_000_000)
+	fs.Create("src", "probe")
+	if err := fs.Rename("src", "probe", "big", "probe"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := fs.Unlink("big", "probe"); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > time.Millisecond {
+		t.Fatalf("cached unlink took %v, want O(1)", el)
+	}
+}
+
+func TestDentryCacheStaysConsistentUnderChurn(t *testing.T) {
+	// Swap-removal moves entries around; cached indices must follow.
+	fs := newFS(t, "d")
+	for i := 0; i < 100; i++ {
+		fs.Create("d", fmt.Sprintf("f%d", i))
+	}
+	// Remove from the middle repeatedly; then verify all lookups.
+	for i := 0; i < 50; i++ {
+		if err := fs.Unlink("d", fmt.Sprintf("f%d", i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		want := i%2 == 1
+		if got := fs.Exists("d", fmt.Sprintf("f%d", i)); got != want {
+			t.Fatalf("Exists(f%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDentryCacheEviction(t *testing.T) {
+	// Overflowing the cache must not break correctness.
+	fs := newFS(t, "d")
+	n := 70_000 // > dcacheCap
+	d, _ := fs.Dir("d")
+	for i := 0; i < n; i++ {
+		d.entries = append(d.entries, fmt.Sprintf("f%d", i))
+		fs.cachePut(d, fmt.Sprintf("f%d", i), i)
+	}
+	if !fs.Exists("d", "f0") || !fs.Exists("d", fmt.Sprintf("f%d", n-1)) {
+		t.Fatal("lookups broken after eviction")
+	}
+}

@@ -1,0 +1,118 @@
+// Package workload provides the synthetic critical-section loop generators
+// used by the paper's microbenchmarks (§5): each simulated thread loops,
+// spending a fixed time inside a shared lock (the critical section) and a
+// fixed time outside it, optionally sleeping (interactive threads).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"scl/sim"
+)
+
+// Loop describes one synthetic thread.
+type Loop struct {
+	// CS is the critical-section length per iteration.
+	CS time.Duration
+	// NCS is the non-critical-section compute per iteration.
+	NCS time.Duration
+	// Sleep, when positive, is slept after releasing the lock (interactive
+	// threads, paper §5.4).
+	Sleep time.Duration
+	// Nice sets the thread's scheduler weight (0 = default).
+	Nice int
+	// CPU pins the thread; -1 means round-robin assignment.
+	CPU int
+	// Name labels the thread (defaults to "w<i>").
+	Name string
+}
+
+// Counters reports per-thread iteration counts after a run.
+type Counters struct {
+	Ops []int64
+}
+
+// Total sums all iteration counts.
+func (c *Counters) Total() int64 {
+	var t int64
+	for _, n := range c.Ops {
+		t += n
+	}
+	return t
+}
+
+// SpawnLoops creates one simulated thread per spec, all contending on lk,
+// running until the engine horizon. Threads with CPU = -1 are pinned
+// round-robin across the engine's CPUs in spec order.
+func SpawnLoops(e *sim.Engine, lk sim.Locker, specs []Loop) *Counters {
+	c := &Counters{Ops: make([]int64, len(specs))}
+	ncpu := 0
+	for i, spec := range specs {
+		i, spec := i, spec
+		cpu := spec.CPU
+		if cpu < 0 {
+			cpu = ncpu
+			ncpu = (ncpu + 1) % e.CPUCount()
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("w%d", i)
+		}
+		e.Spawn(name, sim.TaskConfig{Nice: spec.Nice, CPU: cpu}, func(t *sim.Task) {
+			for t.Now() < e.Horizon() {
+				lk.Lock(t)
+				t.Compute(spec.CS)
+				lk.Unlock(t)
+				t.Compute(spec.NCS)
+				if spec.Sleep > 0 {
+					t.Sleep(spec.Sleep)
+				}
+				c.Ops[i]++
+			}
+		})
+	}
+	return c
+}
+
+// MakeLock constructs one of the studied locks by name: "mutex" (pthread-
+// style barging sleep lock), "spin" (test-and-set), "ticket" (FIFO
+// spinning), "uscl" (u-SCL with the given slice; 0 = 2ms default) or
+// "kscl" (zero slice, inactive GC, no prefetch).
+func MakeLock(e *sim.Engine, kind string, slice time.Duration) sim.Locker {
+	switch kind {
+	case "mutex":
+		return sim.NewMutex(e)
+	case "spin":
+		return sim.NewSpinLock(e)
+	case "ticket":
+		return sim.NewTicketLock(e)
+	case "uscl":
+		return sim.NewUSCL(e, slice)
+	case "kscl":
+		return sim.NewKSCL(e)
+	default:
+		panic("workload: unknown lock kind " + kind)
+	}
+}
+
+// LockKinds is the canonical comparison order used in the paper's figures.
+var LockKinds = []string{"mutex", "spin", "ticket", "uscl"}
+
+// LockLabel maps a lock kind to the paper's display label.
+func LockLabel(kind string) string {
+	switch kind {
+	case "mutex":
+		return "Mtx"
+	case "spin":
+		return "Spn"
+	case "ticket":
+		return "Tkt"
+	case "uscl":
+		return "SCL"
+	case "kscl":
+		return "k-SCL"
+	default:
+		return kind
+	}
+}

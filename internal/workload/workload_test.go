@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"scl/sim"
+)
+
+func TestSpawnLoopsCountsIterations(t *testing.T) {
+	e := sim.New(sim.Config{CPUs: 2, Horizon: 10 * time.Millisecond, Seed: 1})
+	lk := MakeLock(e, "ticket", 0)
+	c := SpawnLoops(e, lk, []Loop{
+		{CS: 10 * time.Microsecond, CPU: 0},
+		{CS: 10 * time.Microsecond, CPU: 1},
+	})
+	e.Run()
+	if c.Total() == 0 {
+		t.Fatal("no iterations")
+	}
+	if c.Ops[0] == 0 || c.Ops[1] == 0 {
+		t.Fatalf("a thread starved: %v", c.Ops)
+	}
+}
+
+func TestSpawnLoopsRoundRobinPinning(t *testing.T) {
+	e := sim.New(sim.Config{CPUs: 2, Horizon: 5 * time.Millisecond, Seed: 1})
+	lk := MakeLock(e, "uscl", 0)
+	specs := make([]Loop, 4)
+	for i := range specs {
+		specs[i] = Loop{CS: time.Microsecond, CPU: -1}
+	}
+	c := SpawnLoops(e, lk, specs)
+	e.Run()
+	if c.Total() == 0 {
+		t.Fatal("no iterations")
+	}
+}
+
+func TestSpawnLoopsSleep(t *testing.T) {
+	e := sim.New(sim.Config{CPUs: 1, Horizon: 10 * time.Millisecond, Seed: 1})
+	lk := MakeLock(e, "mutex", 0)
+	c := SpawnLoops(e, lk, []Loop{{CS: 10 * time.Microsecond, Sleep: time.Millisecond}})
+	e.Run()
+	// ~1ms sleep per loop: around 10 iterations, certainly < 100.
+	if c.Ops[0] == 0 || c.Ops[0] > 100 {
+		t.Fatalf("sleeping loop ran %d times", c.Ops[0])
+	}
+}
+
+func TestMakeLockKinds(t *testing.T) {
+	e := sim.New(sim.Config{CPUs: 1, Horizon: time.Millisecond, Seed: 1})
+	for _, kind := range append(append([]string{}, LockKinds...), "kscl") {
+		if MakeLock(e, kind, 0) == nil {
+			t.Fatalf("MakeLock(%s) nil", kind)
+		}
+	}
+}
+
+func TestMakeLockUnknownPanics(t *testing.T) {
+	e := sim.New(sim.Config{CPUs: 1, Horizon: time.Millisecond, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MakeLock(e, "bogus", 0)
+}
+
+func TestLockLabels(t *testing.T) {
+	for _, kind := range LockKinds {
+		if LockLabel(kind) == "" {
+			t.Fatalf("no label for %s", kind)
+		}
+	}
+	if LockLabel("custom") != "custom" {
+		t.Fatal("unknown kinds should pass through")
+	}
+}

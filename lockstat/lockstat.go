@@ -1,0 +1,200 @@
+// Package lockstat instruments existing locks with the measurements this
+// repository's reproduction is built on: per-entity lock hold times, wait
+// times, and lock-opportunity fairness. Wrap a lock you suspect of
+// subverting your scheduler, run your workload, and read the report — the
+// same methodology as the paper's Table 1 and Section 3.
+//
+// Use it to answer, for your own application, the two questions of paper
+// §2.3: do critical-section lengths differ across threads, and is a large
+// fraction of time spent inside critical sections? If both are yes, the
+// lock dictates CPU allocation and a scheduler-cooperative lock (package
+// scl) will restore control.
+package lockstat
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"scl/internal/metrics"
+)
+
+// Locked is the minimal lock interface lockstat can wrap.
+type Locked interface {
+	Lock()
+	Unlock()
+}
+
+// L instruments an underlying lock. Create with Wrap; obtain one Handle
+// per goroutine (or per any entity whose usage you want attributed).
+type L struct {
+	inner Locked
+
+	mu       sync.Mutex
+	entities map[string]*entity
+	holder   *entity
+	holdFrom time.Duration
+	idleFrom time.Duration
+	idle     time.Duration
+	started  time.Duration
+}
+
+type entity struct {
+	name  string
+	holds []time.Duration
+	waits []time.Duration
+	hold  time.Duration
+	ops   int64
+}
+
+// Wrap instruments lock.
+func Wrap(lock Locked) *L {
+	now := mono()
+	return &L{
+		inner:    lock,
+		entities: make(map[string]*entity),
+		idleFrom: now,
+		started:  now,
+	}
+}
+
+var base = time.Now()
+
+func mono() time.Duration { return time.Since(base) }
+
+// Handle attributes acquisitions to a named entity. Handles must not be
+// shared between concurrent goroutines.
+type Handle struct {
+	l *L
+	e *entity
+}
+
+// Handle returns the named entity's handle, creating it on first use.
+func (l *L) Handle(name string) *Handle {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entities[name]
+	if !ok {
+		e = &entity{name: name}
+		l.entities[name] = e
+	}
+	return &Handle{l: l, e: e}
+}
+
+// Lock acquires the wrapped lock, recording the wait time.
+func (h *Handle) Lock() {
+	start := mono()
+	h.l.inner.Lock()
+	now := mono()
+	h.l.mu.Lock()
+	h.e.waits = append(h.e.waits, now-start)
+	h.l.idle += now - h.l.idleFrom
+	h.l.holder = h.e
+	h.l.holdFrom = now
+	h.l.mu.Unlock()
+}
+
+// Unlock releases the wrapped lock, recording the hold time.
+func (h *Handle) Unlock() {
+	now := mono()
+	h.l.mu.Lock()
+	if h.l.holder == h.e {
+		d := now - h.l.holdFrom
+		h.e.holds = append(h.e.holds, d)
+		h.e.hold += d
+		h.e.ops++
+		h.l.holder = nil
+		h.l.idleFrom = now
+	}
+	h.l.mu.Unlock()
+	h.l.inner.Unlock()
+}
+
+// EntityReport is one entity's usage summary.
+type EntityReport struct {
+	Name string
+	// Ops is the number of completed acquisitions.
+	Ops int64
+	// Hold is cumulative lock hold time.
+	Hold time.Duration
+	// LOT is the entity's lock opportunity time (paper eq. 1): its own
+	// hold time plus the lock's idle time.
+	LOT time.Duration
+	// HoldDist and WaitDist summarize the hold and wait distributions.
+	HoldDist metrics.Summary
+	WaitDist metrics.Summary
+}
+
+// Report is a point-in-time view of the instrumented lock.
+type Report struct {
+	// Entities, sorted by descending hold time.
+	Entities []EntityReport
+	// Idle is how long the lock was unheld.
+	Idle time.Duration
+	// Elapsed is the time since Wrap.
+	Elapsed time.Duration
+	// JainLOT is Jain's fairness index over the entities' lock
+	// opportunity times: 1.0 is perfectly fair; near 1/n means one entity
+	// dominates (paper §3.2).
+	JainLOT float64
+	// HeldFraction is the share of elapsed time the lock was held — when
+	// high, combined with asymmetric holds, the lock (not the scheduler)
+	// is deciding who runs (paper §2.3).
+	HeldFraction float64
+}
+
+// Report computes the current report.
+func (l *L) Report() Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := mono()
+	idle := l.idle
+	if l.holder == nil && now > l.idleFrom {
+		idle += now - l.idleFrom
+	}
+	rep := Report{Idle: idle, Elapsed: now - l.started}
+	lots := make([]float64, 0, len(l.entities))
+	for _, e := range l.entities {
+		er := EntityReport{
+			Name:     e.name,
+			Ops:      e.ops,
+			Hold:     e.hold,
+			LOT:      e.hold + idle,
+			HoldDist: metrics.Summarize(e.holds),
+			WaitDist: metrics.Summarize(e.waits),
+		}
+		rep.Entities = append(rep.Entities, er)
+		lots = append(lots, float64(er.LOT))
+	}
+	sort.Slice(rep.Entities, func(i, j int) bool {
+		return rep.Entities[i].Hold > rep.Entities[j].Hold
+	})
+	rep.JainLOT = metrics.Jain(lots)
+	if rep.Elapsed > 0 {
+		rep.HeldFraction = float64(rep.Elapsed-idle) / float64(rep.Elapsed)
+	}
+	return rep
+}
+
+// Subverted applies the paper's §2.3 heuristic: the lock is likely
+// subverting the scheduler when most time is spent inside critical
+// sections (held > 50% of the run) and hold times are skewed across
+// entities (Jain over LOT below 0.9).
+func (r Report) Subverted() bool {
+	return r.HeldFraction > 0.5 && r.JainLOT < 0.9 && len(r.Entities) > 1
+}
+
+// String renders the report as a table (µs quantiles, like Table 1).
+func (r Report) String() string {
+	t := metrics.NewTable("lockstat report",
+		"entity", "ops", "hold", "LOT", "hold p50µs", "hold p99µs", "wait p99µs")
+	for _, e := range r.Entities {
+		t.AddRow(e.Name, e.Ops,
+			e.Hold.Round(time.Millisecond).String(),
+			e.LOT.Round(time.Millisecond).String(),
+			metrics.Micros(e.HoldDist.P50),
+			metrics.Micros(e.HoldDist.P99),
+			metrics.Micros(e.WaitDist.P99))
+	}
+	return t.String()
+}

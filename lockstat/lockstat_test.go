@@ -1,0 +1,135 @@
+package lockstat
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBasicAccounting(t *testing.T) {
+	l := Wrap(&sync.Mutex{})
+	h := l.Handle("worker")
+	h.Lock()
+	time.Sleep(10 * time.Millisecond)
+	h.Unlock()
+	time.Sleep(5 * time.Millisecond)
+	rep := l.Report()
+	if len(rep.Entities) != 1 {
+		t.Fatalf("%d entities", len(rep.Entities))
+	}
+	e := rep.Entities[0]
+	if e.Name != "worker" || e.Ops != 1 {
+		t.Fatalf("entity %+v", e)
+	}
+	if e.Hold < 9*time.Millisecond {
+		t.Fatalf("hold %v, want ~10ms", e.Hold)
+	}
+	if rep.Idle < 4*time.Millisecond {
+		t.Fatalf("idle %v, want ~5ms+", rep.Idle)
+	}
+	if e.LOT != e.Hold+rep.Idle {
+		t.Fatalf("LOT %v != hold+idle %v", e.LOT, e.Hold+rep.Idle)
+	}
+}
+
+func TestHandleReuseByName(t *testing.T) {
+	l := Wrap(&sync.Mutex{})
+	a1 := l.Handle("a")
+	a2 := l.Handle("a")
+	if a1.e != a2.e {
+		t.Fatal("same name produced distinct entities")
+	}
+}
+
+func TestSubversionDetection(t *testing.T) {
+	// A hog holding 20ms vs a light 1ms under a plain mutex: held fraction
+	// high, LOT skewed -> subverted.
+	l := Wrap(&sync.Mutex{})
+	hog := l.Handle("hog")
+	light := l.Handle("light")
+	for i := 0; i < 5; i++ {
+		hog.Lock()
+		time.Sleep(8 * time.Millisecond)
+		hog.Unlock()
+		light.Lock()
+		time.Sleep(500 * time.Microsecond)
+		light.Unlock()
+	}
+	rep := l.Report()
+	if !rep.Subverted() {
+		t.Fatalf("subversion not detected: held %.2f jain %.3f", rep.HeldFraction, rep.JainLOT)
+	}
+	if rep.Entities[0].Name != "hog" {
+		t.Fatalf("entities not sorted by hold: %s first", rep.Entities[0].Name)
+	}
+}
+
+func TestBalancedNotSubverted(t *testing.T) {
+	l := Wrap(&sync.Mutex{})
+	a := l.Handle("a")
+	b := l.Handle("b")
+	for i := 0; i < 10; i++ {
+		a.Lock()
+		time.Sleep(time.Millisecond)
+		a.Unlock()
+		b.Lock()
+		time.Sleep(time.Millisecond)
+		b.Unlock()
+	}
+	if rep := l.Report(); rep.Subverted() {
+		t.Fatalf("balanced usage flagged: held %.2f jain %.3f", rep.HeldFraction, rep.JainLOT)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	l := Wrap(&sync.Mutex{})
+	var counter int
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := l.Handle(name)
+			for j := 0; j < 1000; j++ {
+				h.Lock()
+				counter++
+				h.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 4000 {
+		t.Fatalf("counter %d", counter)
+	}
+	rep := l.Report()
+	var ops int64
+	for _, e := range rep.Entities {
+		ops += e.Ops
+	}
+	if ops != 4000 {
+		t.Fatalf("recorded ops %d", ops)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	l := Wrap(&sync.Mutex{})
+	h := l.Handle("x")
+	h.Lock()
+	h.Unlock()
+	out := l.Report().String()
+	if !strings.Contains(out, "lockstat report") || !strings.Contains(out, "x") {
+		t.Fatalf("report:\n%s", out)
+	}
+}
+
+func TestWorksWithSCLHandles(t *testing.T) {
+	// lockstat wraps anything with Lock/Unlock — including an scl Handle,
+	// letting you measure an SCL the same way as a plain mutex.
+	type locker interface {
+		Lock()
+		Unlock()
+	}
+	var _ locker = (*Handle)(nil)
+}

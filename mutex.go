@@ -1,0 +1,362 @@
+package scl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scl/internal/core"
+)
+
+// Mutex is a Scheduler-Cooperative mutual-exclusion lock (the paper's
+// u-SCL). Entities register to obtain Handles and lock through them; the
+// lock tracks per-entity usage and guarantees each registered entity lock
+// opportunity proportional to its weight, regardless of critical-section
+// lengths.
+//
+// Internally it is a K42/MCS-style queue: the head waiter briefly spins
+// (next-thread prefetch) while the rest sleep; ownership transfers at lock
+// slice boundaries; over-users are banned for the penalty period computed
+// by the accounting engine.
+type Mutex struct {
+	opts Options
+
+	mu       sync.Mutex // guards all fields below
+	acct     *core.Accountant
+	refs     map[core.ID]int // handles sharing each entity (Sibling)
+	held     bool
+	transfer bool // grant in flight to the head waiter
+	next     *waiter
+	parked   []*waiter
+	// One reusable timer drives slice-end transfers (an owner that stops
+	// acquiring must not strand its waiters); re-arming per operation
+	// would spawn a goroutine per firing.
+	timer   *time.Timer
+	timerAt time.Duration // absolute arm target; avoids redundant resets
+
+	stats lockStats
+}
+
+// waiter is one queued Lock call.
+type waiter struct {
+	h       *Handle
+	granted atomic.Bool
+	intra   bool          // intra-class handoff: the slice continues
+	wake    chan struct{} // buffered(1): at most one pending signal
+}
+
+// NewMutex creates a Scheduler-Cooperative mutex.
+func NewMutex(opts Options) *Mutex {
+	m := &Mutex{
+		opts: opts,
+		refs: make(map[core.ID]int),
+		acct: core.NewAccountant(core.Params{
+			Slice:           opts.sliceLen(),
+			BanCap:          opts.BanCap,
+			InactiveTimeout: opts.InactiveTimeout,
+		}),
+	}
+	m.stats.init()
+	return m
+}
+
+// Handle is one schedulable entity's endpoint on a Mutex. A Handle must
+// not be used concurrently with itself (it represents a single thread of
+// control), but distinct Handles may be used concurrently. Handle
+// implements sync.Locker.
+type Handle struct {
+	m      *Mutex
+	id     core.ID
+	weight int64
+	name   string
+}
+
+var handleIDs atomic.Int64
+
+// Register adds an entity with the reference (nice-0) weight.
+func (m *Mutex) Register() *Handle { return m.RegisterWeight(core.ReferenceWeight) }
+
+// RegisterNice adds an entity whose weight derives from a CFS nice value,
+// matching the CPU share a proportional-share scheduler would give it.
+func (m *Mutex) RegisterNice(nice int) *Handle {
+	return m.RegisterWeight(core.NiceToWeight(nice))
+}
+
+// RegisterWeight adds an entity with an explicit weight.
+func (m *Mutex) RegisterWeight(weight int64) *Handle {
+	h := &Handle{m: m, id: core.ID(handleIDs.Add(1)), weight: weight}
+	m.mu.Lock()
+	m.acct.Register(h.id, weight, monotime())
+	m.refs[h.id]++
+	m.mu.Unlock()
+	return h
+}
+
+// Sibling returns a new Handle bound to the same schedulable entity: the
+// siblings share lock usage accounting, slices and bans, and so form a
+// work-conserving group — while one sibling runs non-critical code,
+// another may use the group's lock slice (the paper's §6 class
+// generalization: a process, container or tenant with several threads is
+// one entity). Each sibling is still a single thread of control.
+func (h *Handle) Sibling() *Handle {
+	s := &Handle{m: h.m, id: h.id, weight: h.weight, name: h.name}
+	h.m.mu.Lock()
+	h.m.refs[h.id]++
+	h.m.mu.Unlock()
+	return s
+}
+
+// Close releases the handle; the entity is unregistered when its last
+// sibling closes. The Handle must not hold the lock.
+func (h *Handle) Close() {
+	h.m.mu.Lock()
+	h.m.refs[h.id]--
+	if h.m.refs[h.id] <= 0 {
+		delete(h.m.refs, h.id)
+		h.m.acct.Unregister(h.id)
+	}
+	h.m.mu.Unlock()
+}
+
+// SetName attaches a label (used by the stats helpers).
+func (h *Handle) SetName(name string) *Handle { h.name = name; return h }
+
+// Name returns the handle's label.
+func (h *Handle) Name() string { return h.name }
+
+// Lock acquires the mutex on behalf of the handle's entity. If the entity
+// is banned for over-use, Lock first sleeps out the penalty (paper §4.2:
+// the penalty is computed at release and imposed at acquire).
+func (h *Handle) Lock() {
+	m := h.m
+	for {
+		m.mu.Lock()
+		now := monotime()
+		until := m.acct.BannedUntil(h.id)
+		if until <= now {
+			break // proceed, still holding m.mu
+		}
+		m.mu.Unlock()
+		time.Sleep(until - now)
+	}
+	// Fast path: we own the live slice, or the lock is wholly free.
+	now := monotime()
+	if !m.held && !m.transfer && m.fastEligible(h, now) {
+		m.acquireLocked(h, now, now)
+		m.mu.Unlock()
+		return
+	}
+	// Slow path: queue.
+	w := &waiter{h: h, wake: make(chan struct{}, 1)}
+	head := m.next == nil
+	if head {
+		m.next = w
+	} else {
+		m.parked = append(m.parked, w)
+	}
+	if head {
+		m.armSliceEnd()
+	}
+	m.mu.Unlock()
+	w.await(head)
+	// Granted: finalize ownership.
+	m.mu.Lock()
+	now = monotime()
+	m.transfer = false
+	if m.next == w {
+		m.next = nil
+	}
+	if !w.intra {
+		// A slice transfer; an intra-class handoff keeps the running slice.
+		m.acct.StartSlice(h.id, now)
+	}
+	m.promoteHead()
+	m.acquireLocked(h, now, now)
+	m.mu.Unlock()
+}
+
+// fastEligible reports whether h may take the free lock immediately.
+// m.mu held.
+func (m *Mutex) fastEligible(h *Handle, now time.Duration) bool {
+	owner, ok := m.acct.SliceOwner()
+	switch {
+	case ok && owner == h.id && !m.acct.SliceExpired(now):
+		return true
+	case !ok && m.next == nil:
+		m.acct.StartSlice(h.id, now)
+		return true
+	}
+	return false
+}
+
+// acquireLocked marks h as holder. m.mu held.
+func (m *Mutex) acquireLocked(h *Handle, now, reqAt time.Duration) {
+	if !m.acct.Registered(h.id) {
+		m.acct.Register(h.id, h.weight, now)
+	}
+	m.held = true
+	m.acct.OnAcquire(h.id, now)
+	m.stats.onAcquire(int64(h.id), now)
+	_ = reqAt
+}
+
+// await blocks until the waiter is granted. The queue head spins briefly
+// (next-thread prefetch) before sleeping; others sleep immediately.
+func (w *waiter) await(head bool) {
+	if head {
+		for i := 0; i < 64; i++ {
+			if w.granted.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+	for !w.granted.Load() {
+		<-w.wake
+	}
+}
+
+// grant hands ownership to the waiter. m.mu held.
+func (w *waiter) grant() {
+	w.granted.Store(true)
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// promoteHead moves the head of the parked queue into the next-thread
+// slot and wakes it so it starts spinning (paper Figure 3 step 8).
+// m.mu held.
+func (m *Mutex) promoteHead() {
+	if m.next != nil || len(m.parked) == 0 {
+		return
+	}
+	w := m.parked[0]
+	m.parked = m.parked[1:]
+	m.next = w
+	// Wake it out of its sleep so it can spin / observe grants promptly.
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	m.armSliceEnd()
+}
+
+// Unlock releases the mutex. If the lock slice has expired, ownership
+// transfers to the head waiter and the accounting engine may ban this
+// entity until others have had their proportional lock opportunity.
+func (h *Handle) Unlock() {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.held {
+		panic("scl: Unlock of unlocked Mutex")
+	}
+	now := monotime()
+	rel := m.acct.OnRelease(h.id, now)
+	m.held = false
+	m.stats.onRelease(int64(h.id), now)
+	if m.opts.InactiveTimeout > 0 {
+		m.acct.Expire(now)
+	}
+	if !rel.SliceExpired {
+		// Work-conserving groups (paper §6): a queued sibling of the
+		// slice-owning entity may take the free lock for the rest of the
+		// slice — jumping the queue, since the slice is its entity's to
+		// use — instead of letting the lock idle through the releaser's
+		// non-critical section.
+		if owner, ok := m.acct.SliceOwner(); ok && !m.transfer {
+			if w := m.takeClassWaiter(owner); w != nil {
+				m.transfer = true
+				w.intra = true
+				w.grant()
+				return
+			}
+		}
+		m.armSliceEnd()
+		return
+	}
+	m.transferLocked()
+}
+
+// takeClassWaiter finds a queued waiter of the given entity, detaching it
+// from the parked queue (the next slot is cleared by the grantee).
+// m.mu held.
+func (m *Mutex) takeClassWaiter(owner core.ID) *waiter {
+	if m.next != nil && m.next.h.id == owner {
+		return m.next
+	}
+	for i, w := range m.parked {
+		if w.h.id == owner {
+			m.parked = append(m.parked[:i], m.parked[i+1:]...)
+			return w
+		}
+	}
+	return nil
+}
+
+// transferLocked hands the free, slice-expired lock to the head waiter or
+// clears the slice. m.mu held.
+func (m *Mutex) transferLocked() {
+	if m.transfer {
+		return
+	}
+	if m.next == nil {
+		m.acct.ClearSlice()
+		return
+	}
+	m.transfer = true
+	m.next.grant()
+}
+
+// armSliceEnd schedules a transfer for a slice that expires while the
+// owner is outside the critical section, so waiters cannot stall behind
+// an owner that stopped acquiring. One reusable timer, armed at most once
+// per slice end. m.mu held.
+func (m *Mutex) armSliceEnd() {
+	_, ok := m.acct.SliceOwner()
+	if !ok || m.next == nil || m.held || m.transfer {
+		return
+	}
+	end := m.acct.SliceEnd()
+	if m.timerAt == end {
+		return // already armed for this slice end
+	}
+	m.timerAt = end
+	delay := end - monotime()
+	if delay < 0 {
+		delay = 0
+	}
+	if m.timer == nil {
+		m.timer = time.AfterFunc(delay, m.onSliceTimer)
+		return
+	}
+	m.timer.Reset(delay)
+}
+
+// onSliceTimer transfers ownership when a slice end passes while the lock
+// is free and waiters queue. The state checks make a stale firing a no-op.
+func (m *Mutex) onSliceTimer() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.timerAt = -1 // consumed; the next armSliceEnd must re-arm
+	if m.held || m.transfer || m.next == nil {
+		return
+	}
+	if _, ok := m.acct.SliceOwner(); !ok || !m.acct.SliceExpired(monotime()) {
+		return
+	}
+	m.transferLocked()
+}
+
+// Stats returns a snapshot of per-entity hold times and the lock's idle
+// time, for fairness reporting.
+func (m *Mutex) Stats() StatsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats.snapshot(monotime())
+}
+
+var _ sync.Locker = (*Handle)(nil)

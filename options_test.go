@@ -1,0 +1,69 @@
+package scl
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOptionsSliceLen(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want time.Duration
+	}{
+		{0, DefaultSlice},                    // zero -> paper default 2ms
+		{-1, 0},                              // negative -> zero slice (k-SCL)
+		{time.Millisecond, time.Millisecond}, // explicit
+	}
+	for _, c := range cases {
+		if got := (Options{Slice: c.in}).sliceLen(); got != c.want {
+			t.Errorf("sliceLen(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSliceIsPapers(t *testing.T) {
+	if DefaultSlice != 2*time.Millisecond {
+		t.Fatalf("DefaultSlice = %v, want the paper's 2ms", DefaultSlice)
+	}
+}
+
+func TestMonotimeMonotonic(t *testing.T) {
+	a := monotime()
+	time.Sleep(time.Millisecond)
+	b := monotime()
+	if b <= a {
+		t.Fatalf("monotime went backwards: %v then %v", a, b)
+	}
+}
+
+func TestKSCLConfiguration(t *testing.T) {
+	// Slice < 0 (k-SCL): every release is a slice boundary, so with a
+	// competitor present a hog is banned after every single hold.
+	m := NewMutex(Options{Slice: -1, InactiveTimeout: time.Second})
+	hog := m.Register()
+	peer := m.Register()
+	_ = peer // registered, never locks: still counts toward shares (paper §4.3 limitation)
+	hog.Lock()
+	time.Sleep(20 * time.Millisecond)
+	hog.Unlock()
+	start := time.Now()
+	hog.Lock()
+	hog.Unlock()
+	if gap := time.Since(start); gap < 10*time.Millisecond {
+		t.Fatalf("zero-slice hog re-entered after %v, want ~20ms ban", gap)
+	}
+}
+
+func TestHandleNameRoundtrip(t *testing.T) {
+	m := NewMutex(Options{})
+	h := m.Register().SetName("tenant-a")
+	if h.Name() != "tenant-a" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+	if h.ID() == 0 {
+		t.Fatal("ID is zero")
+	}
+	if s := h.Sibling(); s.Name() != "tenant-a" || s.ID() != h.ID() {
+		t.Fatal("sibling does not inherit identity")
+	}
+}

@@ -1,0 +1,274 @@
+package scl
+
+import (
+	"sync"
+	"time"
+
+	"scl/internal/core"
+)
+
+// RWLock is a Reader-Writer Scheduler-Cooperative Lock (the paper's
+// RW-SCL). Threads are classified by the work they do — readers versus
+// writers — and the two classes receive alternating lock slices whose
+// lengths are proportional to the configured class weights. Unlike
+// reader-preference or writer-preference locks, neither class can starve
+// the other: a 9:1 configuration gives readers 90% of the lock opportunity
+// and writers 10%, whatever the arrival pattern (paper §4.5, Figure 11).
+//
+// There is no per-thread accounting (and hence no Handle): the class is
+// the schedulable entity, exactly as in the paper.
+type RWLock struct {
+	mu   sync.Mutex
+	ctrl *core.RWController
+
+	readers      int
+	writerActive bool
+
+	waitR []chan struct{}
+	waitW []chan struct{}
+
+	// One reusable timer drives phase-end re-evaluation; re-arming per
+	// operation would spawn a goroutine per firing (time.AfterFunc), which
+	// dominates runtime under load.
+	timer      *time.Timer
+	timerAt    time.Duration // absolute arm target; avoids redundant resets
+	phaseFresh bool          // no acquisition has landed yet in this slice
+
+	// usage integrals: Σ individual holds = ∫ holders(t) dt per class.
+	lastChange time.Duration
+	readerHold time.Duration
+	writerHold time.Duration
+	readerOps  int64
+	writerOps  int64
+	idleTotal  time.Duration
+	createdAt  time.Duration
+}
+
+// NewRWLock creates an RW-SCL with the given class weights (e.g. 9 and 1)
+// and slice period (0 = the 2ms default, split between the classes in
+// weight proportion).
+func NewRWLock(readWeight, writeWeight int64, period time.Duration) *RWLock {
+	now := monotime()
+	return &RWLock{
+		ctrl: core.NewRWController(core.RWParams{
+			Period:      period,
+			ReadWeight:  readWeight,
+			WriteWeight: writeWeight,
+		}),
+		lastChange: now,
+		createdAt:  now,
+	}
+}
+
+// settle advances the usage integrals to now. l.mu held.
+func (l *RWLock) settle(now time.Duration) {
+	dt := now - l.lastChange
+	if dt > 0 {
+		l.readerHold += time.Duration(l.readers) * dt
+		if l.writerActive {
+			l.writerHold += dt
+		}
+		if l.readers == 0 && !l.writerActive {
+			l.idleTotal += dt
+		}
+	}
+	l.lastChange = now
+}
+
+// RLock acquires the lock shared. During a write slice it blocks until
+// the read slice begins and the writer drains.
+func (l *RWLock) RLock() {
+	l.mu.Lock()
+	now := monotime()
+	l.advanceLocked(now)
+	if l.ctrl.Phase() == core.PhaseRead && !l.writerActive {
+		l.classEntered(now)
+		l.settle(now)
+		l.readers++
+		l.readerOps++
+		l.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	l.waitR = append(l.waitR, ch)
+	l.armPhaseTimer()
+	l.mu.Unlock()
+	<-ch // granted: reader count already bumped by the granter
+}
+
+// RUnlock releases a shared hold.
+func (l *RWLock) RUnlock() {
+	l.mu.Lock()
+	now := monotime()
+	l.settle(now)
+	l.readers--
+	if l.readers < 0 {
+		l.mu.Unlock()
+		panic("scl: RUnlock without RLock")
+	}
+	l.advanceLocked(now)
+	l.mu.Unlock()
+}
+
+// WLock acquires the lock exclusive. During a read slice it blocks until
+// the write slice begins and readers drain. Multiple writers contend
+// within the write slice, so a second writer can use the slice while the
+// first runs non-critical code (paper Figure 12b).
+func (l *RWLock) WLock() {
+	l.mu.Lock()
+	now := monotime()
+	l.advanceLocked(now)
+	if l.ctrl.Phase() == core.PhaseWrite && !l.writerActive && l.readers == 0 {
+		l.classEntered(now)
+		l.settle(now)
+		l.writerActive = true
+		l.writerOps++
+		l.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{}, 1)
+	l.waitW = append(l.waitW, ch)
+	l.armPhaseTimer()
+	l.mu.Unlock()
+	<-ch // granted: writerActive already set by the granter
+}
+
+// WUnlock releases the exclusive hold.
+func (l *RWLock) WUnlock() {
+	l.mu.Lock()
+	now := monotime()
+	if !l.writerActive {
+		l.mu.Unlock()
+		panic("scl: WUnlock without WLock")
+	}
+	l.settle(now)
+	l.writerActive = false
+	l.advanceLocked(now)
+	l.mu.Unlock()
+}
+
+// advanceLocked updates the slice phase and grants eligible waiters.
+// l.mu held.
+func (l *RWLock) advanceLocked(now time.Duration) {
+	var curWants, otherWants bool
+	if l.ctrl.Phase() == core.PhaseRead {
+		curWants = l.readers > 0 || len(l.waitR) > 0
+		otherWants = len(l.waitW) > 0 || l.writerActive
+	} else {
+		curWants = l.writerActive || len(l.waitW) > 0
+		otherWants = len(l.waitR) > 0 || l.readers > 0
+	}
+	before := l.ctrl.Phase()
+	if l.ctrl.MaybeSwitch(now, curWants, otherWants) != before {
+		l.phaseFresh = true
+	}
+	l.grantLocked(now)
+	l.armPhaseTimer()
+}
+
+// classEntered restarts the slice clock on the first acquisition of a
+// fresh slice, so drain time is not charged to the incoming class.
+// l.mu held.
+func (l *RWLock) classEntered(now time.Duration) {
+	if l.phaseFresh {
+		l.ctrl.RestartPhase(now)
+		l.phaseFresh = false
+	}
+}
+
+// grantLocked admits waiters permitted by the current phase. l.mu held.
+func (l *RWLock) grantLocked(now time.Duration) {
+	if l.ctrl.Phase() == core.PhaseRead {
+		if l.writerActive || len(l.waitR) == 0 {
+			return
+		}
+		l.classEntered(now)
+		l.settle(now)
+		for _, ch := range l.waitR {
+			l.readers++
+			l.readerOps++
+			ch <- struct{}{}
+		}
+		l.waitR = l.waitR[:0]
+		return
+	}
+	if l.readers > 0 || l.writerActive || len(l.waitW) == 0 {
+		return
+	}
+	l.classEntered(now)
+	l.settle(now)
+	ch := l.waitW[0]
+	l.waitW = l.waitW[1:]
+	l.writerActive = true
+	l.writerOps++
+	ch <- struct{}{}
+}
+
+// armPhaseTimer schedules a phase re-evaluation at the current slice's end
+// while the opposite class waits. The timer is a single reusable
+// time.Timer armed at most once per slice end. l.mu held.
+func (l *RWLock) armPhaseTimer() {
+	var otherWaits bool
+	if l.ctrl.Phase() == core.PhaseRead {
+		otherWaits = len(l.waitW) > 0
+	} else {
+		otherWaits = len(l.waitR) > 0
+	}
+	if !otherWaits {
+		return
+	}
+	end := l.ctrl.PhaseEnd()
+	if l.timerAt == end {
+		return // already armed for this slice end
+	}
+	l.timerAt = end
+	delay := end - monotime()
+	if delay < 0 {
+		delay = 0
+	}
+	if l.timer == nil {
+		l.timer = time.AfterFunc(delay, l.onPhaseTimer)
+		return
+	}
+	l.timer.Reset(delay)
+}
+
+// onPhaseTimer re-evaluates the phase when a slice end passes without a
+// lock operation to trigger it.
+func (l *RWLock) onPhaseTimer() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.timerAt = -1 // consumed; the next armPhaseTimer must re-arm
+	l.advanceLocked(monotime())
+}
+
+// RWStats is a point-in-time view of an RWLock's class usage.
+type RWStats struct {
+	// ReaderHold is Σ of individual reader hold times (overlapping reads
+	// each count).
+	ReaderHold time.Duration
+	// WriterHold is total exclusive hold time.
+	WriterHold time.Duration
+	// ReaderOps and WriterOps count acquisitions per class.
+	ReaderOps, WriterOps int64
+	// Idle is the time the lock was wholly unheld.
+	Idle time.Duration
+	// Elapsed is the time since the lock was created.
+	Elapsed time.Duration
+}
+
+// Stats returns a snapshot of class usage.
+func (l *RWLock) Stats() RWStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := monotime()
+	l.settle(now)
+	return RWStats{
+		ReaderHold: l.readerHold,
+		WriterHold: l.writerHold,
+		ReaderOps:  l.readerOps,
+		WriterOps:  l.writerOps,
+		Idle:       l.idleTotal,
+		Elapsed:    now - l.createdAt,
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultCostModelComplete(t *testing.T) {
+	c := DefaultCostModel()
+	if c.AtomicOp <= 0 || c.CachelineXfer <= 0 || c.SpinNotice <= 0 ||
+		c.FutexWake <= 0 || c.WakeLatency <= 0 || c.WakeCPU <= 0 ||
+		c.ParkCPU <= 0 || c.CrossNodeFactor <= 1 || c.NUMANode <= 0 ||
+		c.StealProb <= 0 || c.StealProb >= 1 {
+		t.Fatalf("default cost model has degenerate fields: %+v", c)
+	}
+}
+
+func TestCostModelWithDefaultsFillsZeros(t *testing.T) {
+	c := CostModel{AtomicOp: 42 * time.Nanosecond}.withDefaults()
+	if c.AtomicOp != 42*time.Nanosecond {
+		t.Fatalf("explicit field overwritten: %v", c.AtomicOp)
+	}
+	d := DefaultCostModel()
+	if c.FutexWake != d.FutexWake || c.NUMANode != d.NUMANode {
+		t.Fatalf("zero fields not defaulted: %+v", c)
+	}
+}
+
+func TestHandoffScalesWithSpinners(t *testing.T) {
+	c := DefaultCostModel()
+	h1 := c.handoff(1, 2)
+	h8 := c.handoff(8, 2)
+	if h8 <= h1 {
+		t.Fatalf("handoff(8)=%v not > handoff(1)=%v", h8, h1)
+	}
+	if got := c.handoff(0, 2); got != h1 {
+		t.Fatalf("handoff clamps spinners at 1: %v vs %v", got, h1)
+	}
+}
+
+func TestHandoffCrossNodePenalty(t *testing.T) {
+	c := DefaultCostModel()
+	within := c.handoff(4, c.NUMANode)
+	across := c.handoff(4, c.NUMANode+1)
+	want := time.Duration(float64(within) * c.CrossNodeFactor)
+	if across != want {
+		t.Fatalf("cross-node handoff %v, want %v", across, want)
+	}
+}
+
+func TestSchedParamsDefaults(t *testing.T) {
+	p := SchedParams{}.withDefaults()
+	if p.Policy != "cfs" {
+		t.Fatalf("default policy %q", p.Policy)
+	}
+	if p.TargetLatency != 6*time.Millisecond || p.MinGranularity != 750*time.Microsecond {
+		t.Fatalf("CFS defaults wrong: %+v", p)
+	}
+}
+
+func TestULEInteractivityScore(t *testing.T) {
+	mk := func(run, sleep time.Duration) *Task {
+		return &Task{uleRun: run, uleSleep: sleep}
+	}
+	// Fresh tasks start interactive.
+	if !uleInteractive(mk(0, 0)) {
+		t.Error("fresh task not interactive")
+	}
+	// Mostly sleeping: interactive (score 50*run/sleep <= 30 -> run/sleep <= 0.6).
+	if !uleInteractive(mk(10*time.Millisecond, 100*time.Millisecond)) {
+		t.Error("sleeper not interactive")
+	}
+	// CPU-bound: not interactive.
+	if uleInteractive(mk(100*time.Millisecond, time.Millisecond)) {
+		t.Error("CPU hog classified interactive")
+	}
+	// Pure runner, zero sleep: not interactive.
+	if uleInteractive(mk(time.Millisecond, 0)) {
+		t.Error("pure runner classified interactive")
+	}
+	// Boundary: run/sleep = 0.6 -> score 30 -> interactive (<=).
+	if !uleInteractive(mk(6*time.Millisecond, 10*time.Millisecond)) {
+		t.Error("boundary score 30 not interactive")
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := New(Config{CPUs: 3, Horizon: time.Second, Seed: 5})
+	if e.CPUCount() != 3 {
+		t.Fatalf("CPUCount = %d", e.CPUCount())
+	}
+	if e.Horizon() != time.Second {
+		t.Fatalf("Horizon = %v", e.Horizon())
+	}
+	if e.Cost().AtomicOp == 0 {
+		t.Fatal("Cost not defaulted")
+	}
+	tk := e.Spawn("x", TaskConfig{Nice: -3, CPU: 1}, func(t *Task) {})
+	if tk.Weight() != 1991 {
+		t.Fatalf("nice -3 weight = %d", tk.Weight())
+	}
+	if tk.Name() != "x" || tk.ID() != 0 || tk.Engine() != e {
+		t.Fatal("task accessors wrong")
+	}
+	e.Run()
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{CPUs: 0, Horizon: time.Second},
+		{CPUs: 1, Horizon: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestInvalidPinPanics(t *testing.T) {
+	e := New(Config{CPUs: 1, Horizon: time.Second})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	e.Spawn("bad", TaskConfig{CPU: 5}, func(*Task) {})
+}

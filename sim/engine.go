@@ -1,0 +1,264 @@
+// Package sim is a deterministic discrete-event simulator of CPUs, a
+// proportional-share (CFS-like) scheduler, and locks. It is the substrate
+// on which this repository reproduces the evaluation of "Avoiding Scheduler
+// Subversion using Scheduler-Cooperative Locks" (EuroSys 2020): simulated
+// threads are ordinary Go functions, time is virtual nanoseconds, and every
+// run with the same seed produces identical results.
+//
+// Concurrency model: each simulated thread (Task) runs on its own goroutine,
+// but exactly one goroutine — the engine or a single task — executes at any
+// moment. Control is handed back and forth over unbuffered channels, so all
+// engine and lock state is accessed without data races and the simulation is
+// fully sequential and deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// CPUs is the number of simulated processors. Must be >= 1.
+	CPUs int
+	// Horizon is the length of the simulation in virtual time.
+	Horizon time.Duration
+	// Seed seeds the simulation's only random source (used for arbitration
+	// races such as spinlock barging). Runs with equal seeds are identical.
+	Seed int64
+	// Cost is the micro-architectural cost model; zero value means
+	// DefaultCostModel().
+	Cost CostModel
+	// Sched configures the CPU scheduler; zero value means default CFS-like
+	// parameters.
+	Sched SchedParams
+}
+
+// Engine is a discrete-event simulation instance. Create with New, add
+// tasks with Spawn, then call Run once.
+type Engine struct {
+	cfg    Config
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	cpus   []*cpu
+	tasks  []*Task
+	rng    *rand.Rand
+
+	yield    chan struct{} // task -> engine handoff
+	stopping bool
+	ran      bool
+	fifoSeq  uint64    // ULE round-robin sequencer
+	trace    *traceBuf // lock-event trace (nil = off)
+}
+
+// New creates an Engine.
+func New(cfg Config) *Engine {
+	if cfg.CPUs < 1 {
+		panic("sim: Config.CPUs must be >= 1")
+	}
+	if cfg.Horizon <= 0 {
+		panic("sim: Config.Horizon must be positive")
+	}
+	cfg.Cost = cfg.Cost.withDefaults()
+	cfg.Sched = cfg.Sched.withDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		yield: make(chan struct{}),
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		e.cpus = append(e.cpus, &cpu{id: i})
+	}
+	return e
+}
+
+// Now returns the current virtual time (nanoseconds since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Horizon returns the configured simulation length.
+func (e *Engine) Horizon() time.Duration { return e.cfg.Horizon }
+
+// Cost returns the effective cost model.
+func (e *Engine) Cost() CostModel { return e.cfg.Cost }
+
+// Rand returns the engine's deterministic random source. Only meaningful
+// while the simulation runs (engine or task context).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq), which makes the simulation deterministic.
+type event struct {
+	at   time.Duration
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// schedule registers fire to run at time at (clamped to now). Safe from
+// both engine and task context.
+func (e *Engine) schedule(at time.Duration, fire func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fire: fire})
+}
+
+// Spawn adds a simulated thread. Its function starts executing at virtual
+// time cfg.Start (default 0). Spawn must be called before Run.
+func (e *Engine) Spawn(name string, cfg TaskConfig, fn func(*Task)) *Task {
+	if e.ran {
+		panic("sim: Spawn after Run")
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = niceToWeight(cfg.Nice)
+	}
+	if cfg.CPU < 0 || cfg.CPU >= len(e.cpus) {
+		panic(fmt.Sprintf("sim: task %q pinned to invalid CPU %d", name, cfg.CPU))
+	}
+	if cfg.Class > 0 {
+		panic(fmt.Sprintf("sim: task %q class %d must be negative (positive IDs are per-task entities)", name, cfg.Class))
+	}
+	t := &Task{
+		e:      e,
+		id:     len(e.tasks),
+		name:   name,
+		weight: cfg.Weight,
+		cpu:    e.cpus[cfg.CPU],
+		class:  cfg.Class,
+		fn:     fn,
+		resume: make(chan struct{}),
+	}
+	e.tasks = append(e.tasks, t)
+	start := cfg.Start
+	e.schedule(start, func() { e.resumeTask(t) })
+	go e.taskMain(t)
+	return t
+}
+
+// taskMain is the goroutine wrapper around a task's function.
+func (e *Engine) taskMain(t *Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopSim); !ok {
+				panic(r)
+			}
+		}
+		t.done = true
+		if t.oncpu != nil {
+			// Task ended while occupying a CPU: free it. (The engine
+			// dispatches a successor after control returns to it.)
+			t.oncpu.cur = nil
+			t.oncpu = nil
+		}
+		e.yield <- struct{}{}
+	}()
+	<-t.resume // first dispatch
+	if e.stopping {
+		panic(stopSim{})
+	}
+	t.fn(t)
+}
+
+// stopSim is the panic sentinel used to unwind task goroutines at shutdown.
+type stopSim struct{}
+
+// resumeTask hands control to a task goroutine and waits until it blocks
+// again (in an op) or finishes. Engine context only.
+func (e *Engine) resumeTask(t *Task) {
+	if t.done {
+		return
+	}
+	t.resume <- struct{}{}
+	<-e.yield
+	// The task has blocked in an op or exited. If it exited or blocked
+	// while still occupying a CPU slot that it no longer uses, let the CPU
+	// pick a successor.
+	for _, c := range e.cpus {
+		if c.cur == nil {
+			e.dispatch(c)
+		}
+	}
+}
+
+// Run executes the simulation until the horizon, then tears down all task
+// goroutines. It may be called once.
+func (e *Engine) Run() {
+	if e.ran {
+		panic("sim: Run called twice")
+	}
+	e.ran = true
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > e.cfg.Horizon {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fire()
+	}
+	// Charge partially-executed work up to the horizon so CPU-time totals
+	// are exact.
+	e.now = e.cfg.Horizon
+	for _, c := range e.cpus {
+		c.sync(e.now)
+	}
+	// Tear down: every live task goroutine is blocked in an op; resuming it
+	// with stopping set unwinds it via the stopSim sentinel.
+	e.stopping = true
+	for _, t := range e.tasks {
+		if !t.done {
+			t.resume <- struct{}{}
+			<-e.yield
+		}
+	}
+}
+
+// nextFifo returns the next ULE round-robin sequence number.
+func (e *Engine) nextFifo() uint64 {
+	e.fifoSeq++
+	return e.fifoSeq
+}
+
+// TaskByID returns the i-th spawned task.
+func (e *Engine) TaskByID(i int) *Task { return e.tasks[i] }
+
+// Tasks returns all spawned tasks in spawn order.
+func (e *Engine) Tasks() []*Task { return e.tasks }
+
+// CPUCount returns the number of simulated processors.
+func (e *Engine) CPUCount() int { return len(e.cpus) }
+
+// CPUBusy returns the cumulative busy time of CPU i.
+func (e *Engine) CPUBusy(i int) time.Duration { return e.cpus[i].busy }
+
+// Utilization returns total CPU busy time divided by CPUs × horizon.
+func (e *Engine) Utilization() float64 {
+	var busy time.Duration
+	for _, c := range e.cpus {
+		busy += c.busy
+	}
+	return float64(busy) / (float64(len(e.cpus)) * float64(e.cfg.Horizon))
+}

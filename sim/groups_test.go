@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Tests for entity classes (paper §6: grouping threads into one
+// schedulable entity makes a lock slice work-conserving: one member runs
+// the critical section while another runs non-critical code).
+
+func TestClassSharesSliceWorkConserving(t *testing.T) {
+	// Two threads with 50% non-critical time. As separate entities, the
+	// lock idles during each owner's NCS within its slice. As one class,
+	// the sibling fills those gaps. Compare lock idle time.
+	run := func(class int64) (idle time.Duration, ops int64) {
+		e := New(Config{CPUs: 2, Horizon: 500 * time.Millisecond, Seed: 1})
+		lk := NewUSCL(e, 2*time.Millisecond)
+		var n int64
+		for i := 0; i < 2; i++ {
+			e.Spawn("w", TaskConfig{CPU: i, Class: class}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.Lock(tk)
+					tk.Compute(10 * time.Microsecond)
+					lk.Unlock(tk)
+					tk.Compute(10 * time.Microsecond)
+					n++
+				}
+			})
+		}
+		e.Run()
+		return lk.Stats().Idle(), n
+	}
+	idleSeparate, opsSeparate := run(0)  // each task its own entity
+	idleGrouped, opsGrouped := run(-100) // one shared class
+	if idleGrouped >= idleSeparate/2 {
+		t.Errorf("grouped idle %v not much lower than separate %v", idleGrouped, idleSeparate)
+	}
+	if opsGrouped <= opsSeparate {
+		t.Errorf("grouping did not raise throughput: %d vs %d", opsGrouped, opsSeparate)
+	}
+}
+
+func TestClassFairnessBetweenGroups(t *testing.T) {
+	// Class A has two members, class B one. Lock opportunity splits
+	// ~50:50 between the classes, not 2:1 by thread count.
+	e := New(Config{CPUs: 3, Horizon: 500 * time.Millisecond, Seed: 1})
+	lk := NewUSCL(e, time.Millisecond)
+	worker := func(class int64, cpu int) {
+		e.Spawn("w", TaskConfig{CPU: cpu, Class: class}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(5 * time.Microsecond)
+				lk.Unlock(tk)
+			}
+		})
+	}
+	worker(-1, 0) // class A
+	worker(-1, 1) // class A
+	worker(-2, 2) // class B
+	e.Run()
+	s := lk.Stats()
+	classA := s.Hold(0) + s.Hold(1)
+	classB := s.Hold(2)
+	ratio := float64(classA) / float64(classB)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("class hold ratio %.2f (A %v, B %v), want ~1 (50:50 between classes)", ratio, classA, classB)
+	}
+}
+
+func TestClassSharedBan(t *testing.T) {
+	// When one member of a class over-uses the lock, the whole class is
+	// banned — a second member cannot launder the over-use.
+	e := New(Config{CPUs: 3, Horizon: 400 * time.Millisecond, Seed: 1})
+	lk := NewUSCL(e, time.Millisecond)
+	var m2AcquiredAt time.Duration
+	// Member 1 hogs for 50ms.
+	e.Spawn("m1", TaskConfig{CPU: 0, Class: -7}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(50 * time.Millisecond)
+		lk.Unlock(tk)
+	})
+	// Member 2 tries right after; it must wait out the class ban.
+	e.Spawn("m2", TaskConfig{CPU: 1, Class: -7, Start: 60 * time.Millisecond}, func(tk *Task) {
+		lk.Lock(tk)
+		m2AcquiredAt = tk.Now()
+		lk.Unlock(tk)
+	})
+	// A competitor keeps the accounting live.
+	e.Spawn("peer", TaskConfig{CPU: 2}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(time.Millisecond)
+			lk.Unlock(tk)
+		}
+	})
+	e.Run()
+	// Class -7 used 50ms with share 1/2: banned until ~100ms.
+	if m2AcquiredAt < 90*time.Millisecond {
+		t.Errorf("class member 2 acquired at %v, want >= ~90ms (shared ban)", m2AcquiredAt)
+	}
+}
+
+func TestPositiveClassPanics(t *testing.T) {
+	e := New(Config{CPUs: 1, Horizon: time.Millisecond})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for positive class")
+		}
+	}()
+	e.Spawn("bad", TaskConfig{Class: 3}, func(*Task) {})
+}

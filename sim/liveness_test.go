@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestUSCLLivenessUnderRandomWorkloads is the starvation-freedom property:
+// under a u-SCL, every continuously contending thread completes at least
+// one critical section per run, whatever the mix of critical sections,
+// weights and CPU contention — the property the traditional locks fail
+// (the toy example's mutex starves T1 outright).
+func TestUSCLLivenessUnderRandomWorkloads(t *testing.T) {
+	horizon := 200 * time.Millisecond
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cpus := 1 + rng.Intn(3)
+		threads := 2 + rng.Intn(5)
+		e := New(Config{CPUs: cpus, Horizon: horizon, Seed: seed})
+		var lk Locker
+		if rng.Intn(2) == 0 {
+			lk = NewUSCL(e, time.Duration(1+rng.Intn(2000))*time.Microsecond)
+		} else {
+			lk = NewKSCL(e)
+		}
+		ops := make([]int64, threads)
+		for i := 0; i < threads; i++ {
+			i := i
+			cs := time.Duration(1+rng.Intn(3000)) * time.Microsecond
+			ncs := time.Duration(rng.Intn(500)) * time.Microsecond
+			e.Spawn(fmt.Sprintf("w%d", i), TaskConfig{CPU: i % cpus, Nice: rng.Intn(11) - 5}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.Lock(tk)
+					tk.Compute(cs)
+					lk.Unlock(tk)
+					tk.Compute(ncs)
+					ops[i]++
+				}
+			})
+		}
+		e.Run()
+		for i, n := range ops {
+			if n == 0 {
+				t.Logf("seed %d: thread %d starved (0 ops)", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutexCanStarveButUSCLCannot contrasts the same extreme workload on
+// both locks: a 20ms-CS hog against a 100µs-CS thread with no non-critical
+// section. The barging mutex may effectively starve the small thread; the
+// u-SCL must give it about half the hold time.
+func TestMutexCanStarveButUSCLCannot(t *testing.T) {
+	run := func(mk func(e *Engine) Locker) (smallHold, hogHold time.Duration) {
+		e := New(Config{CPUs: 2, Horizon: time.Second, Seed: 3})
+		lk := mk(e)
+		e.Spawn("hog", TaskConfig{CPU: 0}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(20 * time.Millisecond)
+				lk.Unlock(tk)
+			}
+		})
+		e.Spawn("small", TaskConfig{CPU: 1}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(100 * time.Microsecond)
+				lk.Unlock(tk)
+			}
+		})
+		e.Run()
+		return lk.Stats().Hold(1), lk.Stats().Hold(0)
+	}
+	mutexSmall, mutexHog := run(func(e *Engine) Locker { return NewMutex(e) })
+	usclSmall, usclHog := run(func(e *Engine) Locker { return NewUSCL(e, 0) })
+	if float64(mutexSmall) > 0.2*float64(mutexHog) {
+		t.Fatalf("mutex did not skew: small %v vs hog %v", mutexSmall, mutexHog)
+	}
+	ratio := float64(usclSmall) / float64(usclHog)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("u-SCL split %v vs %v (ratio %.2f), want ~1", usclSmall, usclHog, ratio)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "time"
+
+// Locker is a simulated mutual-exclusion lock. Lock and Unlock must be
+// called from task context (inside a Spawned function) with the calling
+// task.
+type Locker interface {
+	Lock(t *Task)
+	Unlock(t *Task)
+	Stats() *LockStats
+}
+
+// RWLocker is a simulated reader-writer lock.
+type RWLocker interface {
+	RLock(t *Task)
+	RUnlock(t *Task)
+	WLock(t *Task)
+	WUnlock(t *Task)
+	Stats() *LockStats
+}
+
+// holdTimes tracks per-task acquisition timestamps for hold accounting.
+type holdTimes map[int]time.Duration
+
+func (h holdTimes) start(t *Task) { h[t.id] = t.e.now }
+
+func (h holdTimes) end(t *Task) time.Duration {
+	d := t.e.now - h[t.id]
+	delete(h, t.id)
+	return d
+}

@@ -1,0 +1,420 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// toyExample reproduces the paper's §3 toy workload: two threads on two
+// CPUs, critical sections of 10s (T0) and 1s (T1), negligible non-critical
+// sections, run for 20 seconds.
+func toyExample(t *testing.T, mk func(e *Engine) Locker) (lot0, lot1 time.Duration, jain float64) {
+	t.Helper()
+	e := New(Config{CPUs: 2, Horizon: 20 * time.Second, Seed: 1})
+	lk := mk(e)
+	worker := func(cs time.Duration) func(*Task) {
+		return func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(cs)
+				lk.Unlock(tk)
+			}
+		}
+	}
+	e.Spawn("T0", TaskConfig{CPU: 0}, worker(10*time.Second))
+	e.Spawn("T1", TaskConfig{CPU: 1}, worker(time.Second))
+	e.Run()
+	s := lk.Stats()
+	return s.LOT(0), s.LOT(1), s.JainLOT(0, 1)
+}
+
+func TestToyMutexStarvation(t *testing.T) {
+	lot0, lot1, jain := toyExample(t, func(e *Engine) Locker { return NewMutex(e) })
+	// Paper Table 2: mutex LOT ~(20, 1), fairness ~0.54. The long-CS thread
+	// must dominate; T1 gets at most a couple of critical sections.
+	if lot0 < 15*time.Second {
+		t.Fatalf("T0 LOT = %v, want >= 15s (domination)", lot0)
+	}
+	if lot1 > 4*time.Second {
+		t.Fatalf("T1 LOT = %v, want starved (<= 4s)", lot1)
+	}
+	if jain > 0.75 {
+		t.Fatalf("Jain = %.3f, want < 0.75 (unfair)", jain)
+	}
+}
+
+func TestToySpinlockDomination(t *testing.T) {
+	lot0, lot1, jain := toyExample(t, func(e *Engine) Locker { return NewSpinLock(e) })
+	if lot0 < 12*time.Second {
+		t.Fatalf("T0 LOT = %v, want domination", lot0)
+	}
+	if lot1 >= lot0 {
+		t.Fatalf("T1 LOT %v >= T0 LOT %v", lot1, lot0)
+	}
+	if jain > 0.85 {
+		t.Fatalf("Jain = %.3f, want clearly unfair", jain)
+	}
+}
+
+func TestToyTicketAlternation(t *testing.T) {
+	lot0, lot1, jain := toyExample(t, func(e *Engine) Locker { return NewTicketLock(e) })
+	// Ticket: strict alternation 10,1,10,... -> T1 holds one or two 1s CSs
+	// in 20s depending on who wins the first acquisition (paper Table 2:
+	// LOT (20, 2), fairness .59).
+	if lot1 < 900*time.Millisecond || lot1 > 3*time.Second {
+		t.Fatalf("T1 LOT = %v, want ~1-2s", lot1)
+	}
+	if lot0 < 15*time.Second {
+		t.Fatalf("T0 LOT = %v, want ~18-20s", lot0)
+	}
+	if jain > 0.75 {
+		t.Fatalf("Jain = %.3f, want < 0.75", jain)
+	}
+}
+
+func TestToyUSCLDesired(t *testing.T) {
+	lot0, lot1, jain := toyExample(t, func(e *Engine) Locker { return NewUSCL(e, 0) })
+	// Paper Figure 2d / Table 2 "Desired": both threads end with ~10s of
+	// lock opportunity and fairness ~1.
+	if lot0 < 9*time.Second || lot0 > 11500*time.Millisecond {
+		t.Fatalf("T0 LOT = %v, want ~10s", lot0)
+	}
+	if lot1 < 9*time.Second || lot1 > 11500*time.Millisecond {
+		t.Fatalf("T1 LOT = %v, want ~10s", lot1)
+	}
+	if jain < 0.98 {
+		t.Fatalf("Jain = %.3f, want ~1.0", jain)
+	}
+}
+
+// microWorkload runs n tasks with the given per-task CS sizes on the given
+// CPUs for the horizon; returns the lock.
+func microWorkload(e *Engine, lk Locker, cs []time.Duration, ncs time.Duration, cpus int) {
+	for i := range cs {
+		csi := cs[i]
+		e.Spawn("w", TaskConfig{CPU: i % cpus}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(csi)
+				lk.Unlock(tk)
+				tk.Compute(ncs)
+			}
+		})
+	}
+}
+
+func TestUSCLEqualizesMicrosecondCS(t *testing.T) {
+	// Figure 5a: CS 1µs vs 3µs on 2 CPUs; u-SCL must equalize hold times.
+	e := New(Config{CPUs: 2, Horizon: time.Second, Seed: 1})
+	lk := NewUSCL(e, 0)
+	microWorkload(e, lk, []time.Duration{time.Microsecond, 3 * time.Microsecond}, 0, 2)
+	e.Run()
+	s := lk.Stats()
+	h0, h1 := s.Hold(0), s.Hold(1)
+	ratio := float64(h0) / float64(h1)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("u-SCL hold split %v vs %v (ratio %.3f), want ~1", h0, h1, ratio)
+	}
+	if jain := s.JainHold(0, 1); jain < 0.99 {
+		t.Fatalf("hold fairness %.4f, want ~1", jain)
+	}
+}
+
+func TestTicketProportionalToCS(t *testing.T) {
+	e := New(Config{CPUs: 2, Horizon: time.Second, Seed: 1})
+	lk := NewTicketLock(e)
+	microWorkload(e, lk, []time.Duration{time.Microsecond, 3 * time.Microsecond}, 0, 2)
+	e.Run()
+	s := lk.Stats()
+	ratio := float64(s.Hold(1)) / float64(s.Hold(0))
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("ticket hold ratio %.3f, want ~3 (CS-proportional)", ratio)
+	}
+}
+
+func TestUSCLProportionalWeights(t *testing.T) {
+	// Figure 6: lock opportunity must follow scheduler weights. Give task 0
+	// twice the weight; expect ~2:1 hold despite equal CS.
+	e := New(Config{CPUs: 2, Horizon: 2 * time.Second, Seed: 1})
+	lk := NewUSCL(e, 0)
+	e.Spawn("heavy", TaskConfig{CPU: 0, Weight: 2048}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(2 * time.Microsecond)
+			lk.Unlock(tk)
+		}
+	})
+	e.Spawn("light", TaskConfig{CPU: 1, Weight: 1024}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(2 * time.Microsecond)
+			lk.Unlock(tk)
+		}
+	})
+	e.Run()
+	s := lk.Stats()
+	ratio := float64(s.Hold(0)) / float64(s.Hold(1))
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("weighted hold ratio %.3f, want ~2", ratio)
+	}
+}
+
+func TestUSCLFastPathWithinSlice(t *testing.T) {
+	// A lone thread must acquire many times per slice with minimal
+	// overhead: ~1s of 1µs CSs -> several hundred thousand acquisitions.
+	e := New(Config{CPUs: 1, Horizon: time.Second, Seed: 1})
+	lk := NewUSCL(e, 0)
+	var n int64
+	e.Spawn("solo", TaskConfig{}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(time.Microsecond)
+			lk.Unlock(tk)
+			n++
+		}
+	})
+	e.Run()
+	if n < 700_000 {
+		t.Fatalf("lone-thread throughput %d ops/s, want >= 700k (fast path)", n)
+	}
+}
+
+func TestKSCLRenamePattern(t *testing.T) {
+	// k-SCL (zero slice) with a bully (10ms CS) and a victim (2µs CS, 4µs
+	// NCS): the victim must get through at high rate (paper Figure 14:
+	// ~49.7K renames vs 503 with mutex).
+	run := func(mk func(e *Engine) Locker) (victimOps int64, s *LockStats) {
+		e := New(Config{CPUs: 2, Horizon: 2 * time.Second, Seed: 1})
+		lk := mk(e)
+		e.Spawn("bully", TaskConfig{CPU: 0}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(10 * time.Millisecond)
+				lk.Unlock(tk)
+			}
+		})
+		var ops int64
+		e.Spawn("victim", TaskConfig{CPU: 1}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.Lock(tk)
+				tk.Compute(2 * time.Microsecond)
+				lk.Unlock(tk)
+				tk.Compute(4 * time.Microsecond)
+				ops++
+			}
+		})
+		e.Run()
+		return ops, lk.Stats()
+	}
+	mutexOps, _ := run(func(e *Engine) Locker { return NewMutex(e) })
+	ksclOps, ks := run(func(e *Engine) Locker { return NewKSCL(e) })
+	if ksclOps < 20*mutexOps {
+		t.Fatalf("k-SCL victim ops %d vs mutex %d: want >= 20x improvement", ksclOps, mutexOps)
+	}
+	if jain := ks.JainLOT(0, 1); jain < 0.9 {
+		t.Fatalf("k-SCL LOT fairness %.3f, want ~1", jain)
+	}
+}
+
+func TestUSCLBanIsImposed(t *testing.T) {
+	// After a slice-expiring over-use, the owner must be banned: its next
+	// acquire comes only after the other thread has run.
+	e := New(Config{CPUs: 2, Horizon: time.Second, Seed: 1})
+	lk := NewUSCL(e, 2*time.Millisecond)
+	var t0FirstReacquire time.Duration
+	e.Spawn("hog", TaskConfig{CPU: 0}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(100 * time.Millisecond)
+		lk.Unlock(tk)
+		lk.Lock(tk)
+		t0FirstReacquire = tk.Now()
+		lk.Unlock(tk)
+	})
+	e.Spawn("peer", TaskConfig{CPU: 1}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(time.Millisecond)
+			lk.Unlock(tk)
+		}
+	})
+	e.Run()
+	// hog used 100ms with share 1/2 -> banned ~100ms: reacquire near 200ms.
+	if t0FirstReacquire < 180*time.Millisecond {
+		t.Fatalf("hog reacquired at %v, want >= ~180ms (banned)", t0FirstReacquire)
+	}
+}
+
+func TestMutexMutualExclusionInvariant(t *testing.T) {
+	// Structural check across all lock types: never two concurrent holders.
+	locks := map[string]func(e *Engine) Locker{
+		"mutex":  func(e *Engine) Locker { return NewMutex(e) },
+		"spin":   func(e *Engine) Locker { return NewSpinLock(e) },
+		"ticket": func(e *Engine) Locker { return NewTicketLock(e) },
+		"uscl":   func(e *Engine) Locker { return NewUSCL(e, 0) },
+		"kscl":   func(e *Engine) Locker { return NewKSCL(e) },
+	}
+	for name, mk := range locks {
+		e := New(Config{CPUs: 4, Horizon: 20 * time.Millisecond, Seed: 3})
+		lk := mk(e)
+		var inCS, maxInCS int
+		for i := 0; i < 8; i++ {
+			e.Spawn("w", TaskConfig{CPU: i % 4}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.Lock(tk)
+					inCS++
+					if inCS > maxInCS {
+						maxInCS = inCS
+					}
+					tk.Compute(3 * time.Microsecond)
+					inCS--
+					lk.Unlock(tk)
+					tk.Compute(time.Microsecond)
+				}
+			})
+		}
+		e.Run()
+		if maxInCS != 1 {
+			t.Errorf("%s: %d concurrent holders", name, maxInCS)
+		}
+	}
+}
+
+func TestRWSCLRatioNineToOne(t *testing.T) {
+	// Figure 11: 7 readers + 1 writer with a 9:1 ratio. Writer hold time
+	// must be ~10% of total hold.
+	e := New(Config{CPUs: 8, Horizon: time.Second, Seed: 1})
+	lk := NewRWSCL(e, 0, 9, 1)
+	for i := 0; i < 7; i++ {
+		e.Spawn("reader", TaskConfig{CPU: i}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.RLock(tk)
+				tk.Compute(2 * time.Microsecond)
+				lk.RUnlock(tk)
+			}
+		})
+	}
+	e.Spawn("writer", TaskConfig{CPU: 7}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.WLock(tk)
+			tk.Compute(3 * time.Microsecond)
+			lk.WUnlock(tk)
+		}
+	})
+	e.Run()
+	s := lk.Stats()
+	writerHold := s.Hold(7)
+	// Writer opportunity is 10% of the period; with one writer and 3µs CS
+	// it can use a decent portion of its slice.
+	if writerHold < 20*time.Millisecond {
+		t.Fatalf("writer hold %v, want substantial (not starved)", writerHold)
+	}
+	if writerHold > 150*time.Millisecond {
+		t.Fatalf("writer hold %v, want ~<=10%% of 1s", writerHold)
+	}
+	if got := s.Acquisitions(7); got < 1000 {
+		t.Fatalf("writer acquisitions %d, want >= 1000", got)
+	}
+}
+
+func TestRWMutexStarvesWriter(t *testing.T) {
+	// Figure 11 vanilla: reader preference starves the writer.
+	e := New(Config{CPUs: 8, Horizon: time.Second, Seed: 1})
+	lk := NewRWMutex(e)
+	for i := 0; i < 7; i++ {
+		e.Spawn("reader", TaskConfig{CPU: i}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.RLock(tk)
+				tk.Compute(2 * time.Microsecond)
+				lk.RUnlock(tk)
+			}
+		})
+	}
+	var writerOps int64
+	e.Spawn("writer", TaskConfig{CPU: 7}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.WLock(tk)
+			tk.Compute(3 * time.Microsecond)
+			lk.WUnlock(tk)
+		}
+	})
+	e.Run()
+	writerOps = lk.Stats().Acquisitions(7)
+	readerOps := lk.Stats().Acquisitions(0)
+	if writerOps*100 > readerOps {
+		t.Fatalf("writer not starved: %d writer vs %d reader ops", writerOps, readerOps)
+	}
+}
+
+func TestRWSCLReadersShareSlice(t *testing.T) {
+	// Multiple readers overlap within a read slice: total reader hold can
+	// exceed the read-slice wall share.
+	e := New(Config{CPUs: 4, Horizon: 500 * time.Millisecond, Seed: 1})
+	lk := NewRWSCL(e, 0, 1, 1)
+	for i := 0; i < 4; i++ {
+		e.Spawn("reader", TaskConfig{CPU: i}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.RLock(tk)
+				tk.Compute(10 * time.Microsecond)
+				lk.RUnlock(tk)
+			}
+		})
+	}
+	e.Run()
+	total := lk.Stats().TotalHold()
+	if total < 1200*time.Millisecond { // 4 readers × ~400ms+ each
+		t.Fatalf("readers did not overlap: total hold %v", total)
+	}
+}
+
+func TestRWSCLWriterExclusion(t *testing.T) {
+	e := New(Config{CPUs: 4, Horizon: 100 * time.Millisecond, Seed: 1})
+	lk := NewRWSCL(e, 0, 1, 1)
+	var readersIn, writersIn, violations int
+	for i := 0; i < 2; i++ {
+		e.Spawn("r", TaskConfig{CPU: i}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.RLock(tk)
+				readersIn++
+				if writersIn > 0 {
+					violations++
+				}
+				tk.Compute(2 * time.Microsecond)
+				readersIn--
+				lk.RUnlock(tk)
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		e.Spawn("w", TaskConfig{CPU: 2 + i}, func(tk *Task) {
+			for tk.Now() < e.Horizon() {
+				lk.WLock(tk)
+				writersIn++
+				if writersIn > 1 || readersIn > 0 {
+					violations++
+				}
+				tk.Compute(3 * time.Microsecond)
+				writersIn--
+				lk.WUnlock(tk)
+			}
+		})
+	}
+	e.Run()
+	if violations > 0 {
+		t.Fatalf("%d rw exclusion violations", violations)
+	}
+}
+
+func TestLockIdleTimeAccounting(t *testing.T) {
+	e := New(Config{CPUs: 1, Horizon: time.Second, Seed: 1})
+	lk := NewMutex(e)
+	e.Spawn("brief", TaskConfig{}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(100 * time.Millisecond)
+		lk.Unlock(tk)
+	})
+	e.Run()
+	idle := lk.Stats().Idle()
+	if idle < 890*time.Millisecond || idle > 910*time.Millisecond {
+		t.Fatalf("idle = %v, want ~900ms", idle)
+	}
+}

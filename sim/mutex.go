@@ -1,0 +1,121 @@
+package sim
+
+import "time"
+
+// Mutex simulates a pthread-style sleeping mutex: an unfair (barging)
+// futex lock. Waiters park; Unlock wakes the head waiter, which must get
+// back on a CPU before retrying — by which time the releaser (or anyone
+// else) may have barged in and re-acquired. This reproduces the mutex
+// starvation of the paper's Figure 2a.
+type Mutex struct {
+	e       *Engine
+	heldBy  *Task
+	waiters []*mutexWaiter
+	holds   holdTimes
+	stats   *LockStats
+}
+
+type mutexWaiter struct {
+	t      *Task
+	permit bool // woken before it managed to park (futex EAGAIN path)
+	parked bool
+}
+
+// NewMutex creates a mutex in engine e.
+func NewMutex(e *Engine) *Mutex {
+	return &Mutex{e: e, holds: holdTimes{}, stats: newLockStats(e)}
+}
+
+// Stats returns the lock's statistics.
+func (l *Mutex) Stats() *LockStats { return l.stats }
+
+// Lock acquires the mutex, parking until it wins a retry race.
+func (l *Mutex) Lock(t *Task) {
+	start := t.e.now
+	for {
+		t.Compute(l.e.cfg.Cost.AtomicOp) // CAS attempt
+		if l.heldBy == nil {
+			break
+		}
+		w := &mutexWaiter{t: t}
+		l.waiters = append(l.waiters, w)
+		t.Compute(l.e.cfg.Cost.ParkCPU) // futex_wait entry
+		if w.permit {
+			continue // value changed before we slept: retry immediately
+		}
+		if l.heldBy == nil {
+			// Freed while we were entering the kernel: futex_wait returns
+			// EAGAIN. Remove ourselves and retry.
+			l.remove(w)
+			continue
+		}
+		w.parked = true
+		t.park() // resumed by a wake (plus wake latency and wake CPU cost)
+	}
+	l.heldBy = t
+	t.holding++
+	l.holds.start(t)
+	l.stats.onAcquire(t)
+	l.stats.onWait(t, t.e.now-start)
+}
+
+func (l *Mutex) remove(w *mutexWaiter) {
+	for i, x := range l.waiters {
+		if x == w {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Unlock releases the mutex and wakes the head waiter, paying the futex
+// wake syscall. The lock is free during the wake path, so another running
+// thread can barge in first.
+func (l *Mutex) Unlock(t *Task) {
+	if l.heldBy != t {
+		panic("sim: Mutex.Unlock by non-owner")
+	}
+	t.Compute(l.e.cfg.Cost.AtomicOp) // the release store, paid while holding
+	l.heldBy = nil
+	t.holding--
+	l.stats.onRelease(t, l.holds.end(t))
+	if len(l.waiters) == 0 {
+		return
+	}
+	head := l.waiters[0]
+	l.waiters = l.waiters[1:]
+	head.permit = true
+	if head.parked {
+		l.e.unparkJitter(head.t)
+	}
+	t.Compute(l.e.cfg.Cost.FutexWake) // syscall cost paid by the releaser
+}
+
+// unparkJitter wakes a parked task with jittered latency: usually
+// 0.8x-3x the base wake latency, with a 5% heavy tail up to 200x (timer
+// interrupts, softirq work, run-queue delays). Futex wake-to-run latency
+// really is heavy-tailed, and the tail matters twice over: the common-case
+// jitter breaks the phase-locking a deterministic delay would cause
+// between a barging releaser and a retrying waiter, and the tail lets a
+// waiter's retry occasionally land anywhere in a long holder cycle —
+// without it, a releaser whose cycle exceeds the jitter spread starves
+// waiters completely, where real systems starve them merely brutally
+// (paper Figure 9's 10ms-1s mutex waits).
+func (e *Engine) unparkJitter(t *Task) {
+	base := float64(e.cfg.Cost.WakeLatency)
+	var lat time.Duration
+	if e.rng.Float64() < 0.05 {
+		lat = time.Duration(base * (1 + 199*e.rng.Float64()))
+	} else {
+		lat = time.Duration(base * (0.8 + 2.2*e.rng.Float64()))
+	}
+	e.schedule(e.now+lat, func() {
+		if t.done {
+			return
+		}
+		t.serviceNeed = e.cfg.Cost.WakeCPU
+		e.enqueue(t, true)
+	})
+}
+
+var _ Locker = (*Mutex)(nil)

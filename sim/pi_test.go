@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// runPriorityInversion builds the classic inversion scenario: a
+// low-priority holder (nice 5) shares its CPU with an unrelated
+// high-priority CPU hog (nice -5), while a high-priority waiter (nice -5)
+// on another CPU wants the lock. Without inheritance the holder crawls
+// through its critical section at ~1/10 CPU share and the waiter inherits
+// the delay.
+func runPriorityInversion(pi bool) (waiterWait time.Duration) {
+	e := New(Config{CPUs: 2, Horizon: 2 * time.Second, Seed: 1})
+	lk := NewSCL(e, USCLParams{Slice: 2 * time.Millisecond, Prefetch: true, PriorityInheritance: pi})
+	// Low-priority holder on CPU 0: one long critical section.
+	e.Spawn("holder", TaskConfig{CPU: 0, Nice: 5}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(10 * time.Millisecond)
+		lk.Unlock(tk)
+	})
+	// Unrelated high-priority hog competing for CPU 0.
+	e.Spawn("hog", TaskConfig{CPU: 0, Nice: -5}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			tk.Compute(time.Millisecond)
+		}
+	})
+	// High-priority waiter on CPU 1 arrives just after the holder acquires.
+	var acquired time.Duration
+	e.Spawn("waiter", TaskConfig{CPU: 1, Nice: -5, Start: 100 * time.Microsecond}, func(tk *Task) {
+		start := tk.Now()
+		lk.Lock(tk)
+		acquired = tk.Now() - start
+		lk.Unlock(tk)
+	})
+	e.Run()
+	return acquired
+}
+
+func TestPriorityInheritanceShortensInversion(t *testing.T) {
+	without := runPriorityInversion(false)
+	with := runPriorityInversion(true)
+	if without < 50*time.Millisecond {
+		t.Fatalf("no inversion without PI: waiter waited only %v", without)
+	}
+	if with >= without/2 {
+		t.Fatalf("PI did not help: %v with vs %v without", with, without)
+	}
+	// With the boost the holder runs at roughly half of CPU 0, so the 10ms
+	// CS takes ~20ms and the waiter gets the lock soon after.
+	if with > 40*time.Millisecond {
+		t.Fatalf("PI wait %v, want within a few CS lengths", with)
+	}
+}
+
+func TestPriorityInheritanceRestoresWeight(t *testing.T) {
+	e := New(Config{CPUs: 2, Horizon: 500 * time.Millisecond, Seed: 1})
+	lk := NewSCL(e, USCLParams{Slice: time.Millisecond, Prefetch: true, PriorityInheritance: true})
+	var weightDuring, weightAfter int64
+	holder := e.Spawn("holder", TaskConfig{CPU: 0, Nice: 5}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(5 * time.Millisecond)
+		weightDuring = tk.Weight()
+		tk.Compute(5 * time.Millisecond)
+		lk.Unlock(tk)
+		weightAfter = tk.Weight()
+	})
+	e.Spawn("waiter", TaskConfig{CPU: 1, Nice: -5, Start: time.Millisecond}, func(tk *Task) {
+		lk.Lock(tk)
+		lk.Unlock(tk)
+	})
+	e.Run()
+	if weightDuring != TaskWeight(-5) {
+		t.Fatalf("holder weight during hold = %d, want boosted %d", weightDuring, TaskWeight(-5))
+	}
+	if weightAfter != TaskWeight(5) {
+		t.Fatalf("holder weight after release = %d, want original %d", weightAfter, TaskWeight(5))
+	}
+	_ = holder
+}
+
+func TestPriorityInheritanceNoBoostFromLighterWaiter(t *testing.T) {
+	e := New(Config{CPUs: 2, Horizon: 200 * time.Millisecond, Seed: 1})
+	lk := NewSCL(e, USCLParams{Slice: time.Millisecond, Prefetch: true, PriorityInheritance: true})
+	var weightDuring int64
+	e.Spawn("holder", TaskConfig{CPU: 0, Nice: -5}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(5 * time.Millisecond)
+		weightDuring = tk.Weight()
+		lk.Unlock(tk)
+	})
+	e.Spawn("waiter", TaskConfig{CPU: 1, Nice: 5, Start: time.Millisecond}, func(tk *Task) {
+		lk.Lock(tk)
+		lk.Unlock(tk)
+	})
+	e.Run()
+	if weightDuring != TaskWeight(-5) {
+		t.Fatalf("heavier holder was re-weighted to %d", weightDuring)
+	}
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestRandomWorkloadInvariants drives random lock workloads over every
+// lock type and checks structural invariants:
+//
+//   - mutual exclusion (never two holders);
+//   - accounting sanity: Σ per-task hold + idle ≈ horizon for an
+//     exclusive lock (within the final in-flight hold);
+//   - per-task CPU time never exceeds the horizon, and total CPU time
+//     never exceeds CPUs × horizon;
+//   - the simulation is deterministic (same seed, same result digest).
+func TestRandomWorkloadInvariants(t *testing.T) {
+	horizon := 30 * time.Millisecond
+	run := func(seed int64) (digest string, ok bool, why string) {
+		rng := rand.New(rand.NewSource(seed))
+		cpus := 1 + rng.Intn(4)
+		threads := 1 + rng.Intn(6)
+		kinds := []string{"mutex", "spin", "ticket", "uscl", "kscl"}
+		kind := kinds[rng.Intn(len(kinds))]
+
+		e := New(Config{CPUs: cpus, Horizon: horizon, Seed: seed})
+		var lk Locker
+		switch kind {
+		case "mutex":
+			lk = NewMutex(e)
+		case "spin":
+			lk = NewSpinLock(e)
+		case "ticket":
+			lk = NewTicketLock(e)
+		case "uscl":
+			lk = NewUSCL(e, time.Duration(1+rng.Intn(2000))*time.Microsecond)
+		case "kscl":
+			lk = NewKSCL(e)
+		}
+		inCS, maxCS := 0, 0
+		for i := 0; i < threads; i++ {
+			cs := time.Duration(rng.Intn(20_000)) * time.Nanosecond
+			ncs := time.Duration(rng.Intn(5_000)) * time.Nanosecond
+			sleep := time.Duration(0)
+			if rng.Intn(3) == 0 {
+				sleep = time.Duration(rng.Intn(100)) * time.Microsecond
+			}
+			e.Spawn(fmt.Sprintf("w%d", i), TaskConfig{CPU: i % cpus, Nice: rng.Intn(7) - 3}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.Lock(tk)
+					inCS++
+					if inCS > maxCS {
+						maxCS = inCS
+					}
+					tk.Compute(cs)
+					inCS--
+					lk.Unlock(tk)
+					tk.Compute(ncs)
+					if sleep > 0 {
+						tk.Sleep(sleep)
+					}
+				}
+			})
+		}
+		e.Run()
+
+		if maxCS > 1 {
+			return "", false, fmt.Sprintf("%s: %d concurrent holders", kind, maxCS)
+		}
+		var totalHold, totalCPU time.Duration
+		for i := 0; i < threads; i++ {
+			totalHold += lk.Stats().Hold(i)
+			ct := e.TaskByID(i).CPUTime()
+			if ct > horizon+time.Microsecond {
+				return "", false, fmt.Sprintf("task %d CPU %v > horizon", i, ct)
+			}
+			totalCPU += ct
+		}
+		if limit := time.Duration(cpus) * horizon; totalCPU > limit+time.Microsecond {
+			return "", false, fmt.Sprintf("total CPU %v > %v", totalCPU, limit)
+		}
+		covered := totalHold + lk.Stats().Idle()
+		if covered > horizon+time.Microsecond {
+			return "", false, fmt.Sprintf("hold+idle %v > horizon %v", covered, horizon)
+		}
+		digest = fmt.Sprintf("%s|%v|%v|%v", kind, totalHold, totalCPU, lk.Stats().Idle())
+		return digest, true, ""
+	}
+
+	check := func(seed int64) bool {
+		d1, ok, why := run(seed)
+		if !ok {
+			t.Log(why)
+			return false
+		}
+		d2, _, _ := run(seed)
+		if d1 != d2 {
+			t.Logf("nondeterministic: %q vs %q", d1, d2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRWRandomWorkloadInvariants does the same for the reader-writer locks:
+// no writer overlaps anyone; hold integrals are sane; deterministic.
+func TestRWRandomWorkloadInvariants(t *testing.T) {
+	horizon := 20 * time.Millisecond
+	run := func(seed int64) (string, bool, string) {
+		rng := rand.New(rand.NewSource(seed))
+		cpus := 1 + rng.Intn(4)
+		readers := 1 + rng.Intn(4)
+		writers := 1 + rng.Intn(2)
+		e := New(Config{CPUs: cpus, Horizon: horizon, Seed: seed})
+		var lk RWLocker
+		if rng.Intn(2) == 0 {
+			lk = NewRWMutex(e)
+		} else {
+			lk = NewRWSCL(e, time.Duration(100+rng.Intn(2000))*time.Microsecond, int64(1+rng.Intn(9)), 1)
+		}
+		var rIn, wIn, bad int
+		for i := 0; i < readers; i++ {
+			cs := time.Duration(rng.Intn(5_000)) * time.Nanosecond
+			e.Spawn(fmt.Sprintf("r%d", i), TaskConfig{CPU: i % cpus}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.RLock(tk)
+					rIn++
+					if wIn > 0 {
+						bad++
+					}
+					tk.Compute(cs)
+					rIn--
+					lk.RUnlock(tk)
+				}
+			})
+		}
+		for i := 0; i < writers; i++ {
+			cs := time.Duration(rng.Intn(10_000)) * time.Nanosecond
+			e.Spawn(fmt.Sprintf("w%d", i), TaskConfig{CPU: (readers + i) % cpus}, func(tk *Task) {
+				for tk.Now() < e.Horizon() {
+					lk.WLock(tk)
+					wIn++
+					if wIn > 1 || rIn > 0 {
+						bad++
+					}
+					tk.Compute(cs)
+					wIn--
+					lk.WUnlock(tk)
+				}
+			})
+		}
+		e.Run()
+		if bad > 0 {
+			return "", false, fmt.Sprintf("%d rw violations", bad)
+		}
+		var total time.Duration
+		for i := 0; i < readers+writers; i++ {
+			total += lk.Stats().Hold(i)
+		}
+		return fmt.Sprintf("%v|%v", total, lk.Stats().Idle()), true, ""
+	}
+	check := func(seed int64) bool {
+		d1, ok, why := run(seed)
+		if !ok {
+			t.Log(why)
+			return false
+		}
+		d2, _, _ := run(seed)
+		return d1 == d2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

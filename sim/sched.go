@@ -1,0 +1,428 @@
+package sim
+
+import (
+	"math"
+	"time"
+)
+
+// SchedParams configures the simulated CPU scheduler. The defaults mirror
+// Linux CFS: proportional-share via virtual runtime, a scheduling-latency
+// target divided among runnable tasks, wakeup preemption, and bounded
+// sleeper credit. Policy "ule" selects a FreeBSD-ULE-like policy instead:
+// interactivity scoring from the voluntary-sleep/run ratio, interactive
+// tasks preempting timeshare tasks, round-robin within each class (the
+// paper reports "initial results with the ULE scheduler are similar",
+// §5.4; the ule experiment checks that claim).
+type SchedParams struct {
+	// Policy selects the scheduling algorithm: "cfs" (default) or "ule".
+	Policy string
+	// TargetLatency is the period within which every runnable task on a CPU
+	// should run once (CFS sched_latency, default 6ms).
+	TargetLatency time.Duration
+	// MinGranularity is the minimum timeslice (CFS min_granularity, 750µs).
+	MinGranularity time.Duration
+	// WakeupGranularity limits wakeup preemption: a waking task preempts
+	// only if its vruntime is at least this far behind the current task's
+	// (CFS wakeup_granularity, 1ms).
+	WakeupGranularity time.Duration
+	// SleeperCredit caps how far behind the CPU's min vruntime a waking
+	// task may be placed (CFS places sleepers at min_vruntime - latency/2).
+	SleeperCredit time.Duration
+}
+
+func (p SchedParams) withDefaults() SchedParams {
+	if p.Policy == "" {
+		p.Policy = "cfs"
+	}
+	if p.Policy != "cfs" && p.Policy != "ule" {
+		panic("sim: unknown scheduler policy " + p.Policy)
+	}
+	if p.TargetLatency == 0 {
+		p.TargetLatency = 6 * time.Millisecond
+	}
+	if p.MinGranularity == 0 {
+		p.MinGranularity = 750 * time.Microsecond
+	}
+	if p.WakeupGranularity == 0 {
+		p.WakeupGranularity = time.Millisecond
+	}
+	if p.SleeperCredit == 0 {
+		p.SleeperCredit = 3 * time.Millisecond
+	}
+	return p
+}
+
+// serviceInf marks a task that consumes CPU indefinitely (spinning).
+const serviceInf = time.Duration(math.MaxInt64)
+
+// cpu is one simulated processor with a CFS-like runqueue.
+type cpu struct {
+	id         int
+	rq         taskHeap // runnable, not running
+	cur        *Task
+	tickGen    uint64        // invalidates stale tick events
+	quantumEnd time.Duration // end of cur's current timeslice
+	lastSync   time.Duration // last time cur was charged
+	minvr      time.Duration // monotone floor for wakeup placement
+	busy       time.Duration // cumulative busy time
+}
+
+// taskHeap orders runnable tasks: under CFS by (vruntime, id); under ULE
+// by (priority class, FIFO order). Ordering keys are cached at enqueue so
+// the heap invariant cannot be violated by state changes while queued;
+// id/sequence tie-breaks keep the simulation deterministic.
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.e.cfg.Sched.Policy == "ule" {
+		if a.ulePrio != b.ulePrio {
+			return a.ulePrio < b.ulePrio
+		}
+		return a.fifoSeq < b.fifoSeq
+	}
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.id < b.id
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *taskHeap) push(t *Task) {
+	*h = append(*h, t)
+	h.up(len(*h) - 1)
+}
+
+func (h *taskHeap) popMin() *Task {
+	old := *h
+	t := old[0]
+	n := len(old)
+	old[0] = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	return t
+}
+
+func (h taskHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.Less(i, p) {
+			break
+		}
+		h.Swap(i, p)
+		i = p
+	}
+}
+
+func (h taskHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.Less(l, small) {
+			small = l
+		}
+		if r < n && h.Less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.Swap(i, small)
+		i = small
+	}
+}
+
+// sync charges the currently running task for CPU consumed since lastSync.
+// It must be called before any mutation that depends on up-to-date
+// accounting. Idempotent at a given time.
+func (c *cpu) sync(now time.Duration) {
+	if c.cur == nil {
+		c.lastSync = now
+		return
+	}
+	ran := now - c.lastSync
+	c.lastSync = now
+	if ran <= 0 {
+		return
+	}
+	t := c.cur
+	c.busy += ran
+	t.cpuTime += ran
+	if t.holding > 0 {
+		t.cpuHold += ran
+	}
+	if t.spinning {
+		t.cpuSpin += ran
+	}
+	t.vruntime += time.Duration(int64(ran) * refWeight / t.weight)
+	if t.vruntime > c.minvr {
+		c.minvr = t.vruntime
+	}
+	// ULE interactivity history: on-CPU time, decayed so the score tracks
+	// recent behaviour.
+	t.uleRun += ran
+	if t.uleRun+t.uleSleep > uleDecayWindow {
+		t.uleRun /= 2
+		t.uleSleep /= 2
+	}
+	if t.serviceNeed != serviceInf {
+		t.serviceNeed -= ran
+		if t.serviceNeed < 0 {
+			t.serviceNeed = 0
+		}
+	}
+}
+
+const refWeight = 1024
+
+// uleDecayWindow bounds the ULE interactivity history (FreeBSD uses ~5s;
+// scaled down to our shorter simulations).
+const uleDecayWindow = 500 * time.Millisecond
+
+// uleInteractive classifies a task from its voluntary-sleep/run balance
+// (FreeBSD ULE: score 0..100, interactive at <= 30).
+func uleInteractive(t *Task) bool {
+	run, sleep := t.uleRun, t.uleSleep
+	if run == 0 && sleep == 0 {
+		return true // fresh tasks start interactive, as in ULE
+	}
+	var score float64
+	if sleep >= run {
+		if sleep == 0 {
+			return false
+		}
+		score = 50 * float64(run) / float64(sleep)
+	} else {
+		score = 100 - 50*float64(sleep)/float64(run)
+	}
+	return score <= 30
+}
+
+// totalWeight sums the weights of cur and all queued tasks.
+func (c *cpu) totalWeight() int64 {
+	var w int64
+	if c.cur != nil {
+		w = c.cur.weight
+	}
+	for _, t := range c.rq {
+		w += t.weight
+	}
+	return w
+}
+
+// quantum computes cur's timeslice: CFS divides the latency target by
+// weight share; ULE uses an equal slice per runnable task.
+func (c *cpu) quantum(p SchedParams) time.Duration {
+	if c.cur == nil {
+		return p.TargetLatency
+	}
+	var q time.Duration
+	if p.Policy == "ule" {
+		q = p.TargetLatency / time.Duration(len(c.rq)+1)
+	} else {
+		q = time.Duration(int64(p.TargetLatency) * c.cur.weight / c.totalWeight())
+	}
+	if q < p.MinGranularity {
+		q = p.MinGranularity
+	}
+	return q
+}
+
+// dispatch picks the next task for an idle CPU. Engine or task context.
+func (e *Engine) dispatch(c *cpu) {
+	c.sync(e.now)
+	if c.cur != nil || len(c.rq) == 0 {
+		return
+	}
+	t := c.rq.popMin()
+	c.cur = t
+	t.oncpu = c
+	if t.vruntime > c.minvr {
+		c.minvr = t.vruntime
+	}
+	c.lastSync = e.now
+	c.quantumEnd = e.now + c.quantum(e.cfg.Sched)
+	e.retick(c)
+	if t.pendingDispatch != nil {
+		fn := t.pendingDispatch
+		t.pendingDispatch = nil
+		fn()
+	}
+}
+
+// retick (re)schedules the CPU's next scheduling event: the earlier of
+// cur's op completion and its quantum expiry. A generation counter voids
+// superseded events.
+func (e *Engine) retick(c *cpu) {
+	c.tickGen++
+	if c.cur == nil {
+		return
+	}
+	at := c.quantumEnd
+	if c.cur.serviceNeed != serviceInf {
+		if end := e.now + c.cur.serviceNeed; end < at {
+			at = end
+		}
+	} else if len(c.rq) == 0 {
+		// A lone spinner: no event needed; charging is lazy.
+		return
+	}
+	gen := c.tickGen
+	e.schedule(at, func() { e.tick(c, gen) })
+}
+
+// tick handles op completion and quantum expiry for c.cur.
+func (e *Engine) tick(c *cpu, gen uint64) {
+	if gen != c.tickGen {
+		return
+	}
+	c.sync(e.now)
+	t := c.cur
+	if t == nil {
+		e.dispatch(c)
+		return
+	}
+	if t.serviceNeed == 0 {
+		// Op complete: hand control to the task goroutine; it will either
+		// continue on this CPU (next op adjusts service and reticks) or
+		// release it (blocking op clears cur).
+		e.resumeTask(t)
+		if c.cur == t && t.serviceNeed == 0 && !t.done {
+			// Defensive: the task issued no new op but kept the CPU; treat
+			// as released.
+			c.cur = nil
+			t.oncpu = nil
+			e.dispatch(c)
+		}
+		return
+	}
+	// Quantum expiry.
+	if len(c.rq) == 0 {
+		c.quantumEnd = e.now + c.quantum(e.cfg.Sched)
+		e.retick(c)
+		return
+	}
+	e.preemptCur(c)
+	e.dispatch(c)
+}
+
+// preemptCur moves the running task back to the runqueue (ULE: to the
+// tail of its class — round robin).
+func (e *Engine) preemptCur(c *cpu) {
+	c.sync(e.now)
+	t := c.cur
+	if t == nil {
+		return
+	}
+	c.cur = nil
+	t.oncpu = nil
+	if e.cfg.Sched.Policy == "ule" {
+		t.ulePrio = ulePrioOf(t)
+		t.fifoSeq = e.nextFifo()
+	}
+	c.rq.push(t)
+	c.tickGen++
+}
+
+// ulePrioOf maps interactivity to the two ULE priority classes.
+func ulePrioOf(t *Task) int {
+	if uleInteractive(t) {
+		return 0
+	}
+	return 1
+}
+
+// enqueue makes t runnable on its pinned CPU. fresh marks a transition
+// from blocked (or newly spawned) rather than a preemption, enabling
+// sleeper-credit placement and wakeup preemption.
+func (e *Engine) enqueue(t *Task, fresh bool) {
+	c := t.cpu
+	c.sync(e.now)
+	ule := e.cfg.Sched.Policy == "ule"
+	if fresh {
+		if ule {
+			// Voluntary off-CPU time counts as sleep for the
+			// interactivity score.
+			if t.blockStart > 0 {
+				t.uleSleep += e.now - t.blockStart
+				t.blockStart = 0
+				if t.uleRun+t.uleSleep > uleDecayWindow {
+					t.uleRun /= 2
+					t.uleSleep /= 2
+				}
+			}
+		} else {
+			floor := c.minvr - time.Duration(int64(e.cfg.Sched.SleeperCredit)*refWeight/t.weight)
+			if t.vruntime < floor {
+				t.vruntime = floor
+			}
+		}
+	}
+	if ule {
+		t.ulePrio = ulePrioOf(t)
+		t.fifoSeq = e.nextFifo()
+	}
+	if c.cur == nil {
+		c.rq.push(t)
+		e.dispatch(c)
+		return
+	}
+	// Wakeup preemption check: CFS compares virtual runtimes; ULE lets an
+	// interactive task preempt a timeshare one.
+	preempt := false
+	if fresh {
+		if ule {
+			preempt = t.ulePrio < ulePrioOf(c.cur)
+		} else {
+			preempt = t.vruntime+e.cfg.Sched.WakeupGranularity < c.cur.vruntime
+		}
+	}
+	if preempt {
+		e.preemptCur(c)
+		c.rq.push(t)
+		e.dispatch(c)
+		return
+	}
+	c.rq.push(t)
+	// cur may have had no tick scheduled (lone spinner); now that it has
+	// competition, give it a quantum.
+	if c.cur.serviceNeed == serviceInf {
+		if c.quantumEnd <= e.now {
+			c.quantumEnd = e.now + c.quantum(e.cfg.Sched)
+		}
+		e.retick(c)
+	}
+}
+
+// setWeight changes a task's scheduler weight mid-run (priority
+// inheritance). Pending CPU time is charged at the old weight first; the
+// new weight applies to future vruntime accrual and quanta.
+func (e *Engine) setWeight(t *Task, w int64) {
+	if w <= 0 || w == t.weight {
+		return
+	}
+	if t.oncpu != nil {
+		t.oncpu.sync(e.now)
+	}
+	t.weight = w
+}
+
+// releaseCPU detaches t from its CPU (blocking op). Task context.
+func (e *Engine) releaseCPU(t *Task) {
+	c := t.oncpu
+	if c == nil {
+		return
+	}
+	c.sync(e.now)
+	c.cur = nil
+	t.oncpu = nil
+	t.blockStart = e.now // voluntary: starts the ULE sleep clock
+	c.tickGen++
+	// Successor dispatch happens when control returns to the engine
+	// (resumeTask's dispatch sweep), keeping this callable from task context.
+}

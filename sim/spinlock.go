@@ -1,0 +1,151 @@
+package sim
+
+// SpinLock simulates a test-and-set spinlock with busy-waiting. Waiters
+// consume CPU the whole time they wait; the next owner is decided by a
+// modeled cacheline race, so a releasing thread with a short non-critical
+// section can barge ahead of long-suffering spinners (paper §3.1).
+type SpinLock struct {
+	e        *Engine
+	heldBy   *Task
+	reserved *Task // spinner with a grant in flight
+	spinners []*Task
+	holds    holdTimes
+	stats    *LockStats
+}
+
+// NewSpinLock creates a spinlock in engine e.
+func NewSpinLock(e *Engine) *SpinLock {
+	return &SpinLock{e: e, holds: holdTimes{}, stats: newLockStats(e)}
+}
+
+// Stats returns the lock's statistics.
+func (l *SpinLock) Stats() *LockStats { return l.stats }
+
+// Lock acquires the lock, spinning until available.
+func (l *SpinLock) Lock(t *Task) {
+	start := t.e.now
+	t.Compute(l.e.cfg.Cost.AtomicOp) // the TAS attempt
+	for {
+		if l.heldBy == nil && l.reserved == nil {
+			break // free: our TAS wins
+		}
+		if l.heldBy == nil && l.reserved != nil && l.tryBarge() {
+			break // won the cacheline race against the reserved spinner
+		}
+		l.spinners = append(l.spinners, t)
+		t.spin() // returns when granted via grantNext
+		l.reserved = nil
+		break
+	}
+	l.heldBy = t
+	t.holding++
+	l.holds.start(t)
+	l.stats.onAcquire(t)
+	l.stats.onWait(t, t.e.now-start)
+}
+
+// tryBarge models the race between a fresh TAS and a spinner that was
+// already granted the lock. A preempted (off-CPU) spinner always loses;
+// an on-CPU spinner loses with probability StealProb.
+func (l *SpinLock) tryBarge() bool {
+	loser := l.reserved
+	if loser.oncpu != nil && l.e.rng.Float64() >= l.e.cfg.Cost.StealProb {
+		return false
+	}
+	l.e.cancelSpinGrant(loser)
+	// The loser resumes spinning at the head of the line.
+	l.spinners = append([]*Task{loser}, l.spinners...)
+	l.reserved = nil
+	return true
+}
+
+// Unlock releases the lock and lets the spinners race for it.
+func (l *SpinLock) Unlock(t *Task) {
+	if l.heldBy != t {
+		panic("sim: SpinLock.Unlock by non-owner")
+	}
+	t.Compute(l.e.cfg.Cost.AtomicOp) // the releasing store
+	l.heldBy = nil
+	t.holding--
+	l.stats.onRelease(t, l.holds.end(t))
+	l.grantNext()
+}
+
+// grantNext picks the winning spinner — an on-CPU one if any (a preempted
+// spinner cannot observe the release) — and starts its acquire countdown.
+func (l *SpinLock) grantNext() {
+	if len(l.spinners) == 0 || l.reserved != nil {
+		return
+	}
+	idx := 0
+	for i, s := range l.spinners {
+		if s.oncpu != nil {
+			idx = i
+			break
+		}
+	}
+	winner := l.spinners[idx]
+	l.spinners = append(l.spinners[:idx], l.spinners[idx+1:]...)
+	l.reserved = winner
+	l.e.grantSpin(winner, l.e.cfg.Cost.handoff(len(l.spinners)+1, len(l.e.cpus)))
+}
+
+var _ Locker = (*SpinLock)(nil)
+
+// TicketLock simulates a fetch-and-add ticket lock: strict FIFO
+// acquisition order, busy-waiting waiters. Acquisition fairness does not
+// imply usage fairness — a thread with a longer critical section still
+// dominates the lock (paper §3.1, Figure 2c).
+type TicketLock struct {
+	e        *Engine
+	heldBy   *Task
+	reserved *Task
+	queue    []*Task
+	holds    holdTimes
+	stats    *LockStats
+}
+
+// NewTicketLock creates a ticket lock in engine e.
+func NewTicketLock(e *Engine) *TicketLock {
+	return &TicketLock{e: e, holds: holdTimes{}, stats: newLockStats(e)}
+}
+
+// Stats returns the lock's statistics.
+func (l *TicketLock) Stats() *LockStats { return l.stats }
+
+// Lock takes a ticket and spins until it is served.
+func (l *TicketLock) Lock(t *Task) {
+	start := t.e.now
+	t.Compute(l.e.cfg.Cost.AtomicOp) // fetch-and-add
+	if l.heldBy != nil || l.reserved != nil || len(l.queue) > 0 {
+		l.queue = append(l.queue, t)
+		t.spin()
+		l.reserved = nil
+	}
+	l.heldBy = t
+	t.holding++
+	l.holds.start(t)
+	l.stats.onAcquire(t)
+	l.stats.onWait(t, t.e.now-start)
+}
+
+// Unlock bumps now-serving; the head ticket holder acquires after the
+// coherence handoff (which grows with the spinner population — every
+// spinner polls the same counter).
+func (l *TicketLock) Unlock(t *Task) {
+	if l.heldBy != t {
+		panic("sim: TicketLock.Unlock by non-owner")
+	}
+	t.Compute(l.e.cfg.Cost.AtomicOp)
+	l.heldBy = nil
+	t.holding--
+	l.stats.onRelease(t, l.holds.end(t))
+	if len(l.queue) > 0 {
+		head := l.queue[0]
+		l.queue = l.queue[1:]
+		l.reserved = head
+		l.e.grantSpin(head, l.e.cfg.Cost.handoff(len(l.queue)+1, len(l.e.cpus)))
+	}
+}
+
+var _ Locker = (*TicketLock)(nil)

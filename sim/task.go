@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"time"
+
+	"scl/internal/core"
+)
+
+// TaskConfig configures a simulated thread.
+type TaskConfig struct {
+	// Nice is the CFS nice value (-20..19); it determines the task's CPU
+	// and lock-opportunity weight unless Weight is set explicitly.
+	Nice int
+	// Weight overrides the nice-derived scheduler weight when non-zero.
+	Weight int64
+	// CPU pins the task to a simulated processor (all the paper's
+	// experiments pin threads).
+	CPU int
+	// Start delays the first instruction of the task.
+	Start time.Duration
+	// Class assigns the task to a lock-accounting class (the paper's §6
+	// "schedulable entity" generalization): tasks sharing a class share
+	// lock usage, slices and bans, so one member can use the lock while
+	// another runs non-critical code — a work-conserving group. Zero
+	// means the task is its own class (per-thread accounting, the paper's
+	// default). Class values must be negative to avoid colliding with
+	// task IDs.
+	Class int64
+}
+
+func niceToWeight(nice int) int64 { return core.NiceToWeight(nice) }
+
+// TaskWeight returns the scheduler weight a task with the given nice value
+// receives (the CFS nice-to-weight table).
+func TaskWeight(nice int) int64 { return core.NiceToWeight(nice) }
+
+// Task is a simulated thread. The function passed to Spawn receives the
+// Task and uses its methods (Compute, Sleep, lock operations) to consume
+// virtual time. Task methods must only be called from that function.
+type Task struct {
+	e      *Engine
+	id     int
+	name   string
+	weight int64
+	cpu    *cpu
+	fn     func(*Task)
+
+	class  int64
+	resume chan struct{}
+	done   bool
+
+	// scheduler state
+	vruntime    time.Duration
+	serviceNeed time.Duration // remaining CPU demand of current op
+	oncpu       *cpu          // non-nil while running
+	spinning    bool
+	// pendingDispatch runs when the task is next placed on a CPU (used by
+	// locks to start grant timers for spinners that were preempted).
+	pendingDispatch func()
+
+	// lock state
+	holding int // number of locks currently held
+
+	// accounting
+	cpuTime time.Duration // total on-CPU time
+	cpuHold time.Duration // on-CPU time while holding >= 1 lock
+	cpuSpin time.Duration // on-CPU time spent spin-waiting
+
+	// ULE policy state: interactivity scoring from the voluntary-sleep vs
+	// run balance, cached priority class and FIFO position (see sched.go).
+	uleRun     time.Duration
+	uleSleep   time.Duration
+	blockStart time.Duration // when the task last left a CPU voluntarily
+	ulePrio    int           // 0 = interactive, 1 = timeshare (cached at enqueue)
+	fifoSeq    uint64        // round-robin position within the class
+}
+
+// ID returns the task's spawn index.
+func (t *Task) ID() int { return t.id }
+
+// Name returns the task's name.
+func (t *Task) Name() string { return t.name }
+
+// Weight returns the task's scheduler weight.
+func (t *Task) Weight() int64 { return t.weight }
+
+// Entity returns the lock-accounting entity this task belongs to: its
+// class when one was configured, otherwise the task itself.
+func (t *Task) Entity() core.ID {
+	if t.class != 0 {
+		return core.ID(t.class)
+	}
+	return core.ID(t.id)
+}
+
+// Engine returns the owning engine.
+func (t *Task) Engine() *Engine { return t.e }
+
+// Now returns the current virtual time.
+func (t *Task) Now() time.Duration { return t.e.now }
+
+// CPUTime returns the task's cumulative on-CPU time.
+func (t *Task) CPUTime() time.Duration { return t.cpuTime }
+
+// CPUHoldTime returns on-CPU time accrued while holding at least one lock.
+func (t *Task) CPUHoldTime() time.Duration { return t.cpuHold }
+
+// CPUSpinTime returns on-CPU time accrued while spin-waiting.
+func (t *Task) CPUSpinTime() time.Duration { return t.cpuSpin }
+
+// block yields control to the engine and waits to be resumed. It unwinds
+// the goroutine when the simulation is shutting down.
+func (t *Task) block() {
+	t.e.yield <- struct{}{}
+	<-t.resume
+	if t.e.stopping {
+		panic(stopSim{})
+	}
+}
+
+// Compute consumes d of CPU service. Under CPU contention the elapsed
+// virtual time exceeds d, exactly as a busy thread sharing a processor.
+func (t *Task) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if t.oncpu != nil {
+		// Continue on the current CPU without a scheduling round-trip.
+		// Sync first so pending charges do not eat into the new demand.
+		t.oncpu.sync(t.e.now)
+		t.serviceNeed = d
+		t.e.retick(t.oncpu)
+	} else {
+		t.serviceNeed = d
+		t.e.enqueue(t, true)
+	}
+	t.block()
+}
+
+// Sleep blocks the task for d of virtual wall time without consuming CPU,
+// then pays the wake-up cost (getting back on the CPU) before returning.
+func (t *Task) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.e.releaseCPU(t)
+	t.e.schedule(t.e.now+d, func() {
+		t.serviceNeed = t.e.cfg.Cost.WakeCPU
+		t.e.enqueue(t, true)
+	})
+	t.block()
+}
+
+// SleepUntil blocks until the virtual clock reaches at.
+func (t *Task) SleepUntil(at time.Duration) {
+	if at <= t.e.now {
+		return
+	}
+	t.Sleep(at - t.e.now)
+}
+
+// park blocks the task indefinitely; a later unpark (plus wake latency and
+// wake CPU cost) resumes it. Used by sleeping locks.
+func (t *Task) park() {
+	t.e.releaseCPU(t)
+	t.block()
+}
+
+// unpark makes a parked task runnable after the configured wake latency.
+// Callable from any context (schedules events only).
+func (e *Engine) unpark(t *Task) {
+	e.schedule(e.now+e.cfg.Cost.WakeLatency, func() {
+		if t.done {
+			return
+		}
+		t.serviceNeed = e.cfg.Cost.WakeCPU
+		e.enqueue(t, true)
+	})
+}
+
+// spin turns the task into a CPU-consuming waiter. It returns when some
+// lock grants to the task by calling grantSpin. The task keeps (or
+// competes for) its CPU the whole time, like a hardware spin-wait.
+func (t *Task) spin() {
+	t.spinning = true
+	if t.oncpu != nil {
+		t.oncpu.sync(t.e.now)
+		t.serviceNeed = serviceInf
+		if t.oncpu.quantumEnd <= t.e.now {
+			t.oncpu.quantumEnd = t.e.now + t.oncpu.quantum(t.e.cfg.Sched)
+		}
+		t.e.retick(t.oncpu)
+	} else {
+		t.serviceNeed = serviceInf
+		t.e.enqueue(t, true)
+	}
+	t.block()
+	t.spinning = false
+}
+
+// grantSpin ends a task's spin after it has executed notice worth of
+// CPU time (the release-to-acquire latency). If the spinner is currently
+// preempted, the countdown starts when it next gets on a CPU. Engine or
+// task context; the spinner's spin() returns when the countdown completes.
+func (e *Engine) grantSpin(t *Task, notice time.Duration) {
+	if notice <= 0 {
+		notice = 1
+	}
+	apply := func() {
+		// Charge any outstanding spin time first: the notice countdown
+		// starts now, not at the task's last accounting point.
+		if t.oncpu != nil {
+			t.oncpu.sync(e.now)
+		}
+		t.serviceNeed = notice
+		if t.oncpu != nil {
+			e.retick(t.oncpu)
+		}
+	}
+	if t.oncpu != nil {
+		apply()
+		return
+	}
+	// Runnable but not running: arm the countdown at next dispatch.
+	t.pendingDispatch = apply
+}
+
+// cancelSpinGrant undoes a pending grant (barging stole the lock): the
+// task resumes indefinite spinning.
+func (e *Engine) cancelSpinGrant(t *Task) {
+	t.pendingDispatch = nil
+	if t.oncpu != nil {
+		t.oncpu.sync(e.now)
+	}
+	t.serviceNeed = serviceInf
+	if t.oncpu != nil {
+		e.retick(t.oncpu)
+	}
+}

@@ -1,0 +1,188 @@
+package sim
+
+// These tests encode the operational semantics of the paper's Figure 3
+// (u-SCL) and Figure 4 (RW-SCL) as step-by-step scenarios.
+
+import (
+	"testing"
+	"time"
+
+	"scl/internal/core"
+)
+
+// TestUSCLFigure3Steps walks the paper's Figure 3: A acquires and owns the
+// slice; B queues as the spinning next-in-line; C queues parked; within
+// its slice A releases and re-acquires freely; at slice expiry ownership
+// transfers to B and C is promoted to the spinning next; a penalized A is
+// banned before it can queue again.
+func TestUSCLFigure3Steps(t *testing.T) {
+	e := New(Config{CPUs: 4, Horizon: 200 * time.Millisecond, Seed: 1})
+	lk := NewUSCL(e, 2*time.Millisecond)
+
+	type probe struct {
+		aReacquiredInSlice bool
+		aSecondLockAt      time.Duration
+		bAcquiredAt        time.Duration
+		cAcquiredAt        time.Duration
+		aThirdLockAt       time.Duration
+	}
+	var p probe
+
+	// A: two quick acquisitions inside one slice (steps 2, 4, 6, 7), then a
+	// long hold to expire the slice, then a re-acquisition that must be
+	// banned (step 9).
+	e.Spawn("A", TaskConfig{CPU: 0}, func(tk *Task) {
+		lk.Lock(tk) // step 2: A owns lock and slice
+		tk.Compute(100 * time.Microsecond)
+		lk.Unlock(tk) // step 4: released, slice still A's
+		lk.Lock(tk)   // step 6: fast-path reacquire inside the slice
+		p.aReacquiredInSlice = tk.Now() < 2*time.Millisecond
+		p.aSecondLockAt = tk.Now()
+		tk.Compute(5 * time.Millisecond) // runs past slice end
+		lk.Unlock(tk)                    // step 7/8: slice expired, transfer to B
+		lk.Lock(tk)                      // step 9: must wait out the penalty
+		p.aThirdLockAt = tk.Now()
+		lk.Unlock(tk)
+	})
+	// B arrives while A holds: becomes the spinning next-in-line (step 3).
+	e.Spawn("B", TaskConfig{CPU: 1, Start: 50 * time.Microsecond}, func(tk *Task) {
+		lk.Lock(tk)
+		p.bAcquiredAt = tk.Now()
+		tk.Compute(time.Millisecond)
+		lk.Unlock(tk)
+	})
+	// C arrives later: parks behind B (step 5).
+	e.Spawn("C", TaskConfig{CPU: 2, Start: 100 * time.Microsecond}, func(tk *Task) {
+		lk.Lock(tk)
+		p.cAcquiredAt = tk.Now()
+		tk.Compute(time.Millisecond)
+		lk.Unlock(tk)
+	})
+	e.Run()
+
+	if !p.aReacquiredInSlice {
+		t.Errorf("A's in-slice reacquire at %v was not within the slice", p.aSecondLockAt)
+	}
+	// B acquires right after A's slice-expiring release (~5.1ms), not before.
+	if p.bAcquiredAt < 5*time.Millisecond || p.bAcquiredAt > 6*time.Millisecond {
+		t.Errorf("B acquired at %v, want just after A's 5ms hold", p.bAcquiredAt)
+	}
+	if p.cAcquiredAt <= p.bAcquiredAt {
+		t.Errorf("C acquired at %v, before B at %v", p.cAcquiredAt, p.bAcquiredAt)
+	}
+	// A used ~5.1ms with share 1/3 -> banned for roughly 2x its usage;
+	// it must not reacquire before B and C are done.
+	if p.aThirdLockAt < p.cAcquiredAt {
+		t.Errorf("A reacquired at %v before C at %v (no ban?)", p.aThirdLockAt, p.cAcquiredAt)
+	}
+	if p.aThirdLockAt < 8*time.Millisecond {
+		t.Errorf("A reacquired at %v, want a multi-ms ban", p.aThirdLockAt)
+	}
+}
+
+// TestRWSCLFigure4Steps walks the paper's Figure 4: the lock starts in a
+// read slice; readers share it; a writer waits for the write slice and for
+// readers to drain; at the write slice readers queue; phases alternate.
+func TestRWSCLFigure4Steps(t *testing.T) {
+	e := New(Config{CPUs: 4, Horizon: 50 * time.Millisecond, Seed: 1})
+	lk := NewRWSCL(e, 2*time.Millisecond, 1, 1) // 1ms read + 1ms write slices
+
+	var r1First, w1First, r1Second time.Duration
+	// R1 reads immediately (step 2), then again after the writer's slice
+	// (step 9).
+	e.Spawn("R1", TaskConfig{CPU: 0}, func(tk *Task) {
+		lk.RLock(tk)
+		r1First = tk.Now()
+		tk.Compute(200 * time.Microsecond)
+		lk.RUnlock(tk)
+		tk.Sleep(1500 * time.Microsecond) // wait into the write slice
+		lk.RLock(tk)                      // step 8: must wait for the read slice
+		r1Second = tk.Now()
+		lk.RUnlock(tk)
+	})
+	// W1 arrives during the read slice (step 5) and acquires only when the
+	// write slice starts and readers drained (steps 6-7).
+	e.Spawn("W1", TaskConfig{CPU: 1, Start: 100 * time.Microsecond}, func(tk *Task) {
+		lk.WLock(tk)
+		w1First = tk.Now()
+		tk.Compute(800 * time.Microsecond)
+		lk.WUnlock(tk)
+	})
+	e.Run()
+
+	if r1First > 100*time.Microsecond {
+		t.Errorf("R1's first read at %v, want immediate (lock starts in a read slice)", r1First)
+	}
+	// The write slice starts at the 1ms mark of the controller period.
+	if w1First < 900*time.Microsecond || w1First > 2*time.Millisecond {
+		t.Errorf("W1 acquired at %v, want at the write slice (~1ms)", w1First)
+	}
+	if r1Second < w1First+800*time.Microsecond {
+		t.Errorf("R1's second read at %v overlapped W1's hold ending at %v",
+			r1Second, w1First+800*time.Microsecond)
+	}
+}
+
+// TestUSCLPenaltyMatchesAccountantFormula cross-checks the sim lock
+// against the core engine: after a lone over-use among two entities, the
+// ban equals usage/share - usage.
+func TestUSCLPenaltyMatchesAccountantFormula(t *testing.T) {
+	e := New(Config{CPUs: 2, Horizon: time.Second, Seed: 1})
+	lk := NewUSCL(e, time.Millisecond)
+	var reacquire, released time.Duration
+	e.Spawn("hog", TaskConfig{CPU: 0}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(50 * time.Millisecond)
+		lk.Unlock(tk)
+		released = tk.Now()
+		lk.Lock(tk)
+		reacquire = tk.Now()
+		lk.Unlock(tk)
+	})
+	e.Spawn("peer", TaskConfig{CPU: 1}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(100 * time.Microsecond)
+			lk.Unlock(tk)
+		}
+	})
+	e.Run()
+	// usage ~50ms, share 1/2 -> ban ~50ms from release.
+	ban := reacquire - released
+	if ban < 40*time.Millisecond || ban > 70*time.Millisecond {
+		t.Errorf("ban = %v, want ~50ms (usage/share - usage)", ban)
+	}
+	if got := lk.Accountant().Share(core.ID(0)); got != 0.5 {
+		t.Errorf("share = %v, want 0.5", got)
+	}
+}
+
+// TestKSCLInactiveGC: an entity that stops using a k-SCL is expired from
+// the accounting after the inactive timeout, restoring the survivor's
+// full share.
+func TestKSCLInactiveGC(t *testing.T) {
+	e := New(Config{CPUs: 2, Horizon: 3 * time.Second, Seed: 1})
+	lk := NewKSCL(e)
+	e.Spawn("transient", TaskConfig{CPU: 0}, func(tk *Task) {
+		lk.Lock(tk)
+		tk.Compute(time.Millisecond)
+		lk.Unlock(tk)
+		// Never touches the lock again.
+		tk.Sleep(time.Hour)
+	})
+	e.Spawn("steady", TaskConfig{CPU: 1}, func(tk *Task) {
+		for tk.Now() < e.Horizon() {
+			lk.Lock(tk)
+			tk.Compute(time.Millisecond)
+			lk.Unlock(tk)
+			tk.Compute(100 * time.Microsecond)
+		}
+	})
+	e.Run()
+	if lk.Accountant().Registered(core.ID(0)) {
+		t.Error("transient entity still registered after inactive timeout")
+	}
+	if got := lk.Accountant().Share(core.ID(1)); got != 1 {
+		t.Errorf("steady entity's share = %v, want 1 after GC", got)
+	}
+}

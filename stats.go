@@ -1,0 +1,107 @@
+package scl
+
+import (
+	"time"
+
+	"scl/internal/metrics"
+)
+
+// lockStats mirrors the simulator's lock accounting for the real-time
+// locks: per-entity hold time, acquisition counts, and lock idle time.
+// Callers must serialize access (the enclosing lock's mutex).
+type lockStats struct {
+	holders      int
+	idleStart    time.Duration
+	idle         time.Duration
+	hold         map[int64]time.Duration
+	inFlight     map[int64]time.Duration
+	acquisitions map[int64]int64
+	started      time.Duration
+}
+
+func (s *lockStats) init() {
+	s.hold = make(map[int64]time.Duration)
+	s.inFlight = make(map[int64]time.Duration)
+	s.acquisitions = make(map[int64]int64)
+	s.idleStart = monotime()
+	s.started = s.idleStart
+}
+
+func (s *lockStats) onAcquire(id int64, now time.Duration) {
+	if s.holders == 0 {
+		s.idle += now - s.idleStart
+	}
+	s.holders++
+	s.acquisitions[id]++
+	s.inFlight[id] = now
+}
+
+func (s *lockStats) onRelease(id int64, now time.Duration) {
+	s.holders--
+	if s.holders == 0 {
+		s.idleStart = now
+	}
+	if at, ok := s.inFlight[id]; ok {
+		s.hold[id] += now - at
+		delete(s.inFlight, id)
+	}
+}
+
+func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
+	snap := StatsSnapshot{
+		Hold:         make(map[int64]time.Duration, len(s.hold)),
+		Acquisitions: make(map[int64]int64, len(s.acquisitions)),
+		Idle:         s.idle,
+		Elapsed:      now - s.started,
+	}
+	for id, h := range s.hold {
+		snap.Hold[id] = h
+	}
+	for id, at := range s.inFlight {
+		snap.Hold[id] += now - at
+	}
+	for id, n := range s.acquisitions {
+		snap.Acquisitions[id] = n
+	}
+	if s.holders == 0 && now > s.idleStart {
+		snap.Idle += now - s.idleStart
+	}
+	return snap
+}
+
+// StatsSnapshot is a point-in-time view of a lock's usage accounting.
+type StatsSnapshot struct {
+	// Hold maps entity ID to cumulative lock hold time.
+	Hold map[int64]time.Duration
+	// Acquisitions maps entity ID to acquisition count.
+	Acquisitions map[int64]int64
+	// Idle is the total time the lock was unheld.
+	Idle time.Duration
+	// Elapsed is the time since the lock was created.
+	Elapsed time.Duration
+}
+
+// LOT returns the entity's lock opportunity time (paper eq. 1): its own
+// hold time plus the lock's idle time.
+func (s StatsSnapshot) LOT(id int64) time.Duration { return s.Hold[id] + s.Idle }
+
+// JainHold computes Jain's fairness index over the entities' hold times.
+func (s StatsSnapshot) JainHold(ids ...int64) float64 {
+	xs := make([]float64, len(ids))
+	for i, id := range ids {
+		xs[i] = float64(s.Hold[id])
+	}
+	return metrics.Jain(xs)
+}
+
+// JainLOT computes Jain's fairness index over lock opportunity times.
+func (s StatsSnapshot) JainLOT(ids ...int64) float64 {
+	xs := make([]float64, len(ids))
+	for i, id := range ids {
+		xs[i] = float64(s.LOT(id))
+	}
+	return metrics.Jain(xs)
+}
+
+// ID returns the handle's entity identifier, usable with StatsSnapshot.
+func (h *Handle) ID() int64 { return int64(h.id) }
