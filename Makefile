@@ -1,0 +1,25 @@
+# Tier-1 gate: everything must build, vet clean, and pass tests with the
+# race detector on. CI and pre-commit both run `make check`.
+
+GO ?= go
+
+.PHONY: check build vet test race bench
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Not part of the gate: the full benchmark suite (simulator experiments
+# plus the real-lock fast paths).
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,237 @@
+// Command scltop renders a live, top-style view of scheduler-cooperative
+// lock usage: per-entity lock opportunity, hold share, bans and fairness,
+// refreshed every interval — the paper's Table 1 / §2.3 measurements as a
+// monitor instead of a post-mortem.
+//
+// Live mode attaches to a running process that serves an
+// export.Registry snapshot (see scl/export):
+//
+//	scltop -url http://localhost:6060/debug/scl
+//	scltop -url http://localhost:6060/debug/vars -key scl
+//
+// Replay mode aggregates a trace dump (JSON lines of trace.Event, as
+// written by trace.WriteJSONL or scltrace -json) and prints the same
+// report once:
+//
+//	scltop -replay dump.jsonl
+//
+// Each frame shows, per lock and per entity: acquisitions (total and
+// per-second over the last window), cumulative hold time and the hold
+// share of the window, lock opportunity time (hold + idle, paper eq. 1)
+// and its share, ban counts and total ban time, and wait p99; per lock,
+// the idle share and Jain fairness over holds and LOTs. A hold% column
+// far from the entity's share with Jain(LOT) near 1 is an SCL doing its
+// job: unequal usage, equal opportunity. Jain(LOT) sliding toward 1/n is
+// the paper's subversion signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"scl/export"
+	"scl/internal/metrics"
+	"scl/trace"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "", "snapshot endpoint (export.Registry.VarsHandler)")
+		key      = flag.String("key", "", "extract this key from an expvar /debug/vars document")
+		interval = flag.Duration("interval", time.Second, "refresh interval (live mode)")
+		frames   = flag.Int("n", 0, "number of frames to render (0 = until interrupted)")
+		replay   = flag.String("replay", "", "replay a JSONL trace dump instead of attaching")
+		noClear  = flag.Bool("no-clear", false, "do not clear the screen between frames")
+	)
+	flag.Parse()
+
+	switch {
+	case *replay != "":
+		if err := replayDump(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, "scltop:", err)
+			os.Exit(1)
+		}
+	case *url != "":
+		if err := live(*url, *key, *interval, *frames, !*noClear); err != nil {
+			fmt.Fprintln(os.Stderr, "scltop:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "scltop: need -url (live) or -replay (offline); see -h")
+		os.Exit(2)
+	}
+}
+
+// replayDump aggregates a trace dump and prints one report.
+func replayDump(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	evs, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	fmt.Printf("%d events\n\n", len(evs))
+	for _, l := range trace.Aggregate(evs) {
+		fmt.Println(l)
+	}
+	return nil
+}
+
+// live polls the snapshot endpoint and renders frames.
+func live(url, key string, interval time.Duration, frames int, clear bool) error {
+	var prev *export.Snapshot
+	prevAt := time.Now()
+	for i := 0; frames == 0 || i < frames; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := fetch(url, key)
+		if err != nil {
+			return err
+		}
+		if len(snap.Locks)+len(snap.RWLocks)+len(snap.Rings) == 0 {
+			return fmt.Errorf("%s: snapshot has no locks — is this an expvar endpoint? (use -key, e.g. -key scl)", url)
+		}
+		now := time.Now()
+		if clear {
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(render(snap, prev, now.Sub(prevAt)))
+		prev, prevAt = snap, now
+	}
+	return nil
+}
+
+// fetch retrieves a Snapshot: either raw (VarsHandler) or nested under
+// key in an expvar /debug/vars document.
+func fetch(url, key string) (*export.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	if key == "" {
+		var snap export.Snapshot
+		if err := dec.Decode(&snap); err != nil {
+			return nil, err
+		}
+		return &snap, nil
+	}
+	var doc map[string]json.RawMessage
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	raw, ok := doc[key]
+	if !ok {
+		return nil, fmt.Errorf("%s: no %q key (is the registry published under that name?)", url, key)
+	}
+	var snap export.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// render draws one frame. prev (the last frame's snapshot) supplies the
+// windowed rates; nil means first frame, totals only.
+func render(snap, prev *export.Snapshot, window time.Duration) string {
+	out := fmt.Sprintf("scltop  %s  (window %v)\n\n",
+		time.Now().Format("15:04:05"), window.Round(time.Millisecond))
+	for _, l := range snap.Locks {
+		out += renderLock(l, prevLock(prev, l.Name), window)
+	}
+	for _, l := range snap.RWLocks {
+		out += renderRW(l)
+	}
+	for _, g := range snap.Rings {
+		out += fmt.Sprintf("ring %s: %d events, %d dropped (cap %d)\n",
+			g.Name, g.Seen, g.Dropped, g.Cap)
+	}
+	return out
+}
+
+func prevLock(prev *export.Snapshot, name string) *export.LockSnapshot {
+	if prev == nil {
+		return nil
+	}
+	for i := range prev.Locks {
+		if prev.Locks[i].Name == name {
+			return &prev.Locks[i]
+		}
+	}
+	return nil
+}
+
+func renderLock(l export.LockSnapshot, prev *export.LockSnapshot, window time.Duration) string {
+	var totalLOT time.Duration
+	for _, e := range l.Entities {
+		totalLOT += e.LOT
+	}
+	t := metrics.NewTable("lock "+l.Name,
+		"entity", "acq", "acq/s", "hold", "hold%", "LOT", "LOT%", "bans", "ban time", "wait p99µs")
+	for _, e := range l.Entities {
+		var acqRate, holdPct float64
+		if p := prevEntity(prev, e.ID); p != nil && window > 0 {
+			acqRate = float64(e.Acquisitions-p.Acquisitions) / window.Seconds()
+			holdPct = 100 * float64(e.Hold-p.Hold) / float64(window)
+		} else if l.Elapsed > 0 {
+			// First frame: lifetime share instead of a window rate.
+			acqRate = float64(e.Acquisitions) / l.Elapsed.Seconds()
+			holdPct = 100 * float64(e.Hold) / float64(l.Elapsed)
+		}
+		lotPct := 0.0
+		if totalLOT > 0 {
+			lotPct = 100 * float64(e.LOT) / float64(totalLOT)
+		}
+		t.AddRow(e.Label, e.Acquisitions, acqRate,
+			e.Hold.Round(time.Millisecond).String(), holdPct,
+			e.LOT.Round(time.Millisecond).String(), lotPct,
+			e.Bans, e.BanTime.Round(time.Millisecond).String(),
+			metrics.Micros(e.WaitP99))
+	}
+	idlePct := 0.0
+	if l.Elapsed > 0 {
+		idlePct = 100 * float64(l.Idle) / float64(l.Elapsed)
+	}
+	return t.String() + fmt.Sprintf(
+		"idle %.1f%%  Jain(hold) %.3f  Jain(LOT) %.3f\n\n", idlePct, l.JainHold, l.JainLOT)
+}
+
+func prevEntity(prev *export.LockSnapshot, id int64) *export.EntitySnapshot {
+	if prev == nil {
+		return nil
+	}
+	for i := range prev.Entities {
+		if prev.Entities[i].ID == id {
+			return &prev.Entities[i]
+		}
+	}
+	return nil
+}
+
+func renderRW(l export.RWLockSnapshot) string {
+	t := metrics.NewTable("rwlock "+l.Name, "class", "acq", "hold", "hold%")
+	pct := func(d time.Duration) float64 {
+		if l.Elapsed <= 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(l.Elapsed)
+	}
+	t.AddRow("read", l.ReaderOps, l.ReaderHold.Round(time.Millisecond).String(), pct(l.ReaderHold))
+	t.AddRow("write", l.WriterOps, l.WriterHold.Round(time.Millisecond).String(), pct(l.WriterHold))
+	return t.String() + fmt.Sprintf("idle %.1f%%\n\n", pct(l.Idle))
+}

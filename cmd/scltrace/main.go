@@ -7,16 +7,23 @@
 // Usage:
 //
 //	scltrace [-lock uscl|kscl|mutex|spin|ticket] [-threads 3]
-//	         [-cs 500µs] [-horizon 50ms] [-tail 40] [-seed 1]
+//	         [-cs 500µs] [-horizon 50ms] [-tail 40] [-seed 1] [-json]
+//
+// With -json the full trace is written to stdout as JSON lines of
+// trace.Event — the dump format cmd/scltop replays:
+//
+//	scltrace -json > dump.jsonl && scltop -replay dump.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"scl/internal/workload"
 	"scl/sim"
+	"scl/trace"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 		horizon  = flag.Duration("horizon", 50*time.Millisecond, "virtual run length")
 		tail     = flag.Int("tail", 40, "events to print (newest)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		jsonOut  = flag.Bool("json", false, "dump the full trace as trace.Event JSON lines (for scltop -replay)")
 	)
 	flag.Parse()
 
@@ -48,6 +56,14 @@ func main() {
 	counters := workload.SpawnLoops(e, lk, specs)
 	e.Run()
 
+	if *jsonOut {
+		if err := trace.WriteJSONL(os.Stdout, convert(e.TraceEvents(), *lockKind)); err != nil {
+			fmt.Fprintln(os.Stderr, "scltrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	evs := e.TraceEvents()
 	if len(evs) > *tail {
 		fmt.Printf("... %d earlier events elided ...\n", len(evs)-*tail)
@@ -60,4 +76,32 @@ func main() {
 	for i := 0; i < *threads; i++ {
 		fmt.Printf("  t%d: %8d ops, held %v\n", i, counters.Ops[i], s.Hold(i).Round(time.Microsecond))
 	}
+}
+
+// convert maps simulator trace events onto the scl/trace schema so the
+// same tooling (scltop -replay, trace.Aggregate) reads both real-lock
+// ring dumps and simulator dumps. Simulator tasks have names but no
+// entity IDs; trace.Aggregate keys by name in that case.
+func convert(evs []sim.TraceEvent, lock string) []trace.Event {
+	kinds := map[sim.TraceKind]trace.Kind{
+		sim.TraceAcquire:  trace.KindAcquire,
+		sim.TraceRelease:  trace.KindRelease,
+		sim.TraceBan:      trace.KindBan,
+		sim.TraceTransfer: trace.KindHandoff,
+	}
+	out := make([]trace.Event, 0, len(evs))
+	for _, ev := range evs {
+		k, ok := kinds[ev.Kind]
+		if !ok {
+			k = trace.Kind(ev.Kind)
+		}
+		out = append(out, trace.Event{
+			At:     ev.At,
+			Kind:   k,
+			Lock:   lock,
+			Name:   ev.Task,
+			Detail: ev.Detail,
+		})
+	}
+	return out
 }

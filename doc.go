@@ -1,0 +1,81 @@
+// Package scl implements Scheduler-Cooperative Locks (SCLs) for Go,
+// reproducing the locking primitives of "Avoiding Scheduler Subversion
+// using Scheduler-Cooperative Locks" (Patel et al., EuroSys 2020).
+//
+// Classic locks let whoever holds the lock longest dominate the CPU: lock
+// usage, not the scheduler, decides who runs (the paper's "scheduler
+// subversion" problem). SCLs fix this by accounting lock usage per
+// schedulable entity and giving every entity a proportional time window of
+// lock opportunity:
+//
+//   - Mutex is a u-SCL: a mutual-exclusion lock with per-entity usage
+//     accounting, lock slices (an owner may re-acquire freely within its
+//     slice), and penalties that ban over-users until the other entities
+//     have had their proportional opportunity.
+//   - RWLock is an RW-SCL: a reader-writer lock whose read and write
+//     slices alternate with lengths proportional to configured class
+//     weights, so neither readers nor writers can starve the other side.
+//   - TicketLock, SpinLock and BargingMutex are the traditional baselines
+//     the paper compares against.
+//
+// Entities are explicit: each goroutine (or connection, tenant, work
+// class — any schedulable entity) calls Register on a Mutex to obtain a
+// Handle and locks through it. This mirrors the paper's per-thread state
+// (allocated via pthread keys in the original C implementation); Go has no
+// per-goroutine storage, so registration is explicit.
+//
+// Weights use the Linux CFS nice-to-weight table, so lock-opportunity
+// shares line up with CPU shares under a proportional-share scheduler.
+//
+// # Observability
+//
+// Every lock can report and stream what it is doing:
+//
+//   - Mutex.Stats returns a StatsSnapshot: per-entity acquisitions, hold
+//     time, lock opportunity time, bans, ban time, handoffs, and hold/wait
+//     distributions, plus lock-level idle time and Jain fairness indices.
+//   - The Tracer interface (Options.Tracer, Mutex.SetTracer,
+//     RWLock.SetTracer) receives a structured trace.Event for every
+//     acquisition, release, slice end, ban and handoff. Package scl/trace
+//     provides a lock-free bounded ring buffer that satisfies Tracer, plus
+//     JSONL serialization and offline aggregation.
+//   - Package scl/export turns any set of locks and rings into continuous
+//     metrics: a Prometheus text-exposition endpoint, expvar publication,
+//     and the JSON snapshot that cmd/scltop renders live.
+//
+// Tracing is strictly opt-in: with a nil Tracer the only cost on the lock
+// paths is a nil check.
+//
+// # Paper-to-code map
+//
+// The SCL mechanism of paper §4 lives, clock-independent and shared with
+// the simulator, in internal/core:
+//
+//   - §4.1 "Lock usage accounting" — core.Accountant. Register assigns the
+//     per-entity weight; OnAcquire/OnRelease charge critical-section time
+//     to the holder (Usage, GrandUsage); rescale keeps totals bounded.
+//     The real-lock wall-clock bookkeeping around it (idle time, holder
+//     overlap, distributions) is lockStats in stats.go.
+//   - §4.2 "Lock slices" — Accountant.StartSlice, SliceOwner, SliceExpired,
+//     SliceEnd. The owner's cheap re-acquisition inside its slice is
+//     Mutex.fastEligible (mutex.go); the slice-expiry timer wakeup is
+//     Mutex.onSliceTimer.
+//   - §4.2 "Penalties" — Accountant.penalty computes the ban from the
+//     entity's usage beyond its proportional share; OnRelease returns it in
+//     Release.Penalty, BannedUntil/Banned enforce it, and Mutex.Lock sleeps
+//     it out before queueing.
+//   - §4.3 "Waiting and handoff" — the waiter queue, spin-then-park
+//     (waiter.await), next-owner prefetch (Mutex.promoteHead) and slice
+//     transfer (Mutex.transferLocked, Mutex.handoff) in mutex.go.
+//   - §5 RW-SCL — core.RWController (internal/core/rw.go) owns the
+//     read/write phase machine and weighted slice lengths; RWLock
+//     (rwlock.go) adds the real waiters and class accounting.
+//   - §6 "Schedulable entities beyond threads" — Handle.Sibling binds
+//     several goroutines to one accounted entity; the group keeps its
+//     slice busy via the intra-class handoff in Mutex.takeClassWaiter
+//     (work conservation within an entity).
+//
+// The k-SCL variant used for kernel-style locks is a Mutex with
+// Options{Slice: -1} (every release is a slice boundary) and an
+// InactiveTimeout for entity garbage collection.
+package scl

@@ -1,0 +1,54 @@
+package scl_test
+
+import (
+	"fmt"
+	"time"
+
+	"scl"
+	"scl/trace"
+)
+
+// Attach the built-in ring-buffer recorder to a lock and inspect the
+// structured event stream: every acquisition, release, slice end, ban and
+// handoff, in order, with bounded memory.
+func ExampleTracer() {
+	ring := trace.NewRing(1 << 10)
+	m := scl.NewMutex(scl.Options{
+		Name:   "db",
+		Slice:  -1, // k-SCL: every release ends the slice
+		Tracer: ring,
+	})
+	h := m.Register().SetName("worker")
+
+	h.Lock()
+	time.Sleep(time.Millisecond)
+	h.Unlock()
+
+	for _, ev := range ring.Events() {
+		fmt.Println(ev.Kind, ev.Lock, ev.Name)
+	}
+	// Output:
+	// acquire db worker
+	// release db worker
+	// slice-end db worker
+}
+
+// Tracers attach and detach at runtime, so a lock can run untraced (the
+// only cost is a nil check) until something looks wrong.
+func ExampleMutex_SetTracer() {
+	m := scl.NewMutex(scl.Options{Name: "cache", Slice: time.Minute})
+	h := m.Register()
+
+	h.Lock() // untraced
+	h.Unlock()
+
+	ring := trace.NewRing(64)
+	m.SetTracer(ring) // start observing
+	h.Lock()
+	h.Unlock()
+	m.SetTracer(nil) // stop
+
+	fmt.Println("events while attached:", ring.Seen())
+	// Output:
+	// events while attached: 2
+}

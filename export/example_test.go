@@ -1,0 +1,46 @@
+package export_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+
+	"scl"
+	"scl/export"
+)
+
+// Serve lock metrics in the Prometheus text exposition format. In a real
+// program, mount the handler on your existing mux:
+//
+//	http.Handle("/metrics", registry.MetricsHandler())
+func ExampleRegistry_MetricsHandler() {
+	m := scl.NewMutex(scl.Options{Name: "db"})
+	h := m.Register().SetName("worker")
+	h.Lock()
+	h.Unlock()
+
+	reg := export.NewRegistry()
+	reg.RegisterMutex("", m) // "" = use the lock's own name
+
+	srv := httptest.NewServer(reg.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+
+	// Entity IDs are assigned process-wide; redact for a stable example.
+	id := regexp.MustCompile(`entity_id="\d+"`)
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "scl_entity_acquisitions_total") {
+			fmt.Println(id.ReplaceAllString(line, `entity_id="N"`))
+		}
+	}
+	// Output:
+	// scl_entity_acquisitions_total{entity="worker",entity_id="N",lock="db"} 1
+}

@@ -1,0 +1,209 @@
+// Package export turns the scl locks' usage accounting into continuously
+// scrapeable metrics, using only the standard library: register locks
+// (and trace rings) in a Registry, then expose them through
+//
+//   - MetricsHandler — Prometheus text exposition (per-lock and
+//     per-entity counters, hold/wait quantiles, Jain fairness),
+//   - VarsHandler / PublishExpvar — a JSON snapshot, also consumable by
+//     cmd/scltop's live view,
+//
+// so a production service can watch lock opportunity, ban time and
+// fairness per entity in real time — the paper's §2.3 measurements as
+// live metrics rather than post-hoc reports.
+package export
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scl"
+	"scl/trace"
+)
+
+// Registry holds named metric sources. The zero value is unusable;
+// create with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	mutexes []namedSource[func() scl.StatsSnapshot]
+	rwlocks []namedSource[func() scl.RWStats]
+	rings   []namedSource[*trace.Ring]
+}
+
+type namedSource[T any] struct {
+	name string
+	src  T
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func pick(name, fallback string, n int) string {
+	if name != "" {
+		return name
+	}
+	if fallback != "" {
+		return fallback
+	}
+	return fmt.Sprintf("lock-%d", n)
+}
+
+// RegisterMutex adds a Mutex under the given name (falling back to the
+// lock's Options.Name, then to a positional label).
+func (r *Registry) RegisterMutex(name string, m *scl.Mutex) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mutexes = append(r.mutexes, namedSource[func() scl.StatsSnapshot]{
+		name: pick(name, m.Name(), len(r.mutexes)), src: m.Stats})
+}
+
+// RegisterRWLock adds an RWLock under the given name.
+func (r *Registry) RegisterRWLock(name string, l *scl.RWLock) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rwlocks = append(r.rwlocks, namedSource[func() scl.RWStats]{
+		name: pick(name, l.Name(), len(r.rwlocks)), src: l.Stats})
+}
+
+// RegisterRing adds a trace ring so its volume and drop counters are
+// exported alongside the lock metrics.
+func (r *Registry) RegisterRing(name string, ring *trace.Ring) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rings = append(r.rings, namedSource[*trace.Ring]{
+		name: pick(name, "", len(r.rings)), src: ring})
+}
+
+// Snapshot is a point-in-time JSON-serializable view of every registered
+// source: the wire format of VarsHandler and the input of cmd/scltop.
+type Snapshot struct {
+	Locks   []LockSnapshot   `json:"locks,omitempty"`
+	RWLocks []RWLockSnapshot `json:"rwlocks,omitempty"`
+	Rings   []RingSnapshot   `json:"rings,omitempty"`
+}
+
+// LockSnapshot is one Mutex's accounting.
+type LockSnapshot struct {
+	Name string `json:"name"`
+	// Elapsed is time since lock creation; Idle the total unheld time.
+	Elapsed time.Duration `json:"elapsed"`
+	Idle    time.Duration `json:"idle"`
+	// JainHold and JainLOT are Jain's fairness index over the entities'
+	// hold times and lock opportunity times (paper §3.2).
+	JainHold float64 `json:"jainHold"`
+	JainLOT  float64 `json:"jainLOT"`
+	// Entities, sorted by descending hold time.
+	Entities []EntitySnapshot `json:"entities,omitempty"`
+}
+
+// EntitySnapshot is one entity's accounting within a lock.
+type EntitySnapshot struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Label is Name, or a stable synthetic label when unnamed.
+	Label        string        `json:"label"`
+	Acquisitions int64         `json:"acquisitions"`
+	Hold         time.Duration `json:"hold"`
+	// LOT is the lock opportunity time: own hold + lock idle (eq. 1).
+	LOT      time.Duration `json:"lot"`
+	Bans     int64         `json:"bans"`
+	BanTime  time.Duration `json:"banTime"`
+	Handoffs int64         `json:"handoffs"`
+	// Per-operation hold and wait quantiles from reservoir samples.
+	HoldP50 time.Duration `json:"holdP50"`
+	HoldP99 time.Duration `json:"holdP99"`
+	WaitP50 time.Duration `json:"waitP50"`
+	WaitP99 time.Duration `json:"waitP99"`
+}
+
+// RWLockSnapshot is one RWLock's class accounting.
+type RWLockSnapshot struct {
+	Name       string        `json:"name"`
+	Elapsed    time.Duration `json:"elapsed"`
+	Idle       time.Duration `json:"idle"`
+	ReaderHold time.Duration `json:"readerHold"`
+	WriterHold time.Duration `json:"writerHold"`
+	ReaderOps  int64         `json:"readerOps"`
+	WriterOps  int64         `json:"writerOps"`
+}
+
+// RingSnapshot is one trace ring's volume accounting.
+type RingSnapshot struct {
+	Name    string `json:"name"`
+	Cap     int    `json:"cap"`
+	Seen    uint64 `json:"seen"`
+	Dropped uint64 `json:"dropped"`
+}
+
+// Snapshot collects a snapshot of every registered source.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	mutexes := append([]namedSource[func() scl.StatsSnapshot](nil), r.mutexes...)
+	rwlocks := append([]namedSource[func() scl.RWStats](nil), r.rwlocks...)
+	rings := append([]namedSource[*trace.Ring](nil), r.rings...)
+	r.mu.Unlock()
+
+	var snap Snapshot
+	for _, m := range mutexes {
+		snap.Locks = append(snap.Locks, lockSnapshot(m.name, m.src()))
+	}
+	for _, l := range rwlocks {
+		s := l.src()
+		snap.RWLocks = append(snap.RWLocks, RWLockSnapshot{
+			Name:       l.name,
+			Elapsed:    s.Elapsed,
+			Idle:       s.Idle,
+			ReaderHold: s.ReaderHold,
+			WriterHold: s.WriterHold,
+			ReaderOps:  s.ReaderOps,
+			WriterOps:  s.WriterOps,
+		})
+	}
+	for _, g := range rings {
+		snap.Rings = append(snap.Rings, RingSnapshot{
+			Name:    g.name,
+			Cap:     g.src.Cap(),
+			Seen:    g.src.Seen(),
+			Dropped: g.src.Dropped(),
+		})
+	}
+	return snap
+}
+
+func lockSnapshot(name string, s scl.StatsSnapshot) LockSnapshot {
+	ids := s.IDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ls := LockSnapshot{
+		Name:     name,
+		Elapsed:  s.Elapsed,
+		Idle:     s.Idle,
+		JainHold: s.JainHold(ids...),
+		JainLOT:  s.JainLOT(ids...),
+	}
+	for _, id := range ids {
+		label := s.Names[id]
+		if label == "" {
+			label = fmt.Sprintf("entity-%d", id)
+		}
+		ls.Entities = append(ls.Entities, EntitySnapshot{
+			ID:           id,
+			Name:         s.Names[id],
+			Label:        label,
+			Acquisitions: s.Acquisitions[id],
+			Hold:         s.Hold[id],
+			LOT:          s.LOT(id),
+			Bans:         s.Bans[id],
+			BanTime:      s.BanTime[id],
+			Handoffs:     s.Handoffs[id],
+			HoldP50:      s.HoldDist[id].P50,
+			HoldP99:      s.HoldDist[id].P99,
+			WaitP50:      s.WaitDist[id].P50,
+			WaitP99:      s.WaitDist[id].P99,
+		})
+	}
+	sort.SliceStable(ls.Entities, func(i, j int) bool {
+		return ls.Entities[i].Hold > ls.Entities[j].Hold
+	})
+	return ls
+}

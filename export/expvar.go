@@ -1,0 +1,28 @@
+package export
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+)
+
+// PublishExpvar publishes the registry under the given key in the
+// process's expvar map, so the snapshot appears in /debug/vars next to
+// the runtime's memstats. Like expvar.Publish, it panics if the key is
+// already in use — call once per registry, at startup.
+func (r *Registry) PublishExpvar(key string) {
+	expvar.Publish(key, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// VarsHandler serves the Snapshot as a raw JSON document: the endpoint
+// cmd/scltop polls for its live view. Mount it anywhere, e.g.
+//
+//	http.Handle("/debug/scl", registry.VarsHandler())
+func (r *Registry) VarsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}

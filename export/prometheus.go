@@ -1,0 +1,195 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus writes every registered source in the Prometheus text
+// exposition format (version 0.0.4), standard library only. Durations
+// are exported in seconds, per Prometheus convention; per-entity hold
+// and wait distributions become summary metrics with 0.5/0.99 quantiles.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	ew := &errWriter{w: w}
+
+	ew.family("scl_lock_elapsed_seconds", "gauge", "Time since the lock was created.")
+	for _, l := range snap.Locks {
+		ew.metric("scl_lock_elapsed_seconds", labels{"lock": l.Name}, seconds(l.Elapsed))
+	}
+	ew.family("scl_lock_idle_seconds_total", "counter", "Total time the lock was unheld.")
+	for _, l := range snap.Locks {
+		ew.metric("scl_lock_idle_seconds_total", labels{"lock": l.Name}, seconds(l.Idle))
+	}
+	ew.family("scl_lock_jain_hold", "gauge", "Jain fairness index over per-entity hold times (1 = fair).")
+	for _, l := range snap.Locks {
+		ew.metric("scl_lock_jain_hold", labels{"lock": l.Name}, l.JainHold)
+	}
+	ew.family("scl_lock_jain_lot", "gauge", "Jain fairness index over per-entity lock opportunity times.")
+	for _, l := range snap.Locks {
+		ew.metric("scl_lock_jain_lot", labels{"lock": l.Name}, l.JainLOT)
+	}
+
+	ew.family("scl_entity_acquisitions_total", "counter", "Lock acquisitions per entity.")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_acquisitions_total", lb, float64(e.Acquisitions))
+	})
+	ew.family("scl_entity_hold_seconds_total", "counter", "Cumulative lock hold time per entity.")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_hold_seconds_total", lb, seconds(e.Hold))
+	})
+	ew.family("scl_entity_lock_opportunity_seconds", "gauge", "Lock opportunity time per entity: own hold plus lock idle (paper eq. 1).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_lock_opportunity_seconds", lb, seconds(e.LOT))
+	})
+	ew.family("scl_entity_bans_total", "counter", "Penalties imposed on the entity for lock over-use.")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_bans_total", lb, float64(e.Bans))
+	})
+	ew.family("scl_entity_ban_seconds_total", "counter", "Total penalty time imposed on the entity.")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_ban_seconds_total", lb, seconds(e.BanTime))
+	})
+	ew.family("scl_entity_handoffs_total", "counter", "Lock ownership grants received by the entity.")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_handoffs_total", lb, float64(e.Handoffs))
+	})
+
+	ew.family("scl_entity_hold_seconds", "summary", "Per-operation critical-section length (reservoir sample).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_hold_seconds", lb.with("quantile", "0.5"), seconds(e.HoldP50))
+		ew.metric("scl_entity_hold_seconds", lb.with("quantile", "0.99"), seconds(e.HoldP99))
+		ew.metric("scl_entity_hold_seconds_sum", lb, seconds(e.Hold))
+		ew.metric("scl_entity_hold_seconds_count", lb, float64(e.Acquisitions))
+	})
+	ew.family("scl_entity_wait_seconds", "summary", "Per-operation wait (queueing plus bans slept out; reservoir sample).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_wait_seconds", lb.with("quantile", "0.5"), seconds(e.WaitP50))
+		ew.metric("scl_entity_wait_seconds", lb.with("quantile", "0.99"), seconds(e.WaitP99))
+		ew.metric("scl_entity_wait_seconds_count", lb, float64(e.Acquisitions))
+	})
+
+	if len(snap.RWLocks) > 0 {
+		ew.family("scl_rwlock_hold_seconds_total", "counter", "Cumulative hold time per RW-SCL class.")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_hold_seconds_total", labels{"lock": l.Name, "class": "read"}, seconds(l.ReaderHold))
+			ew.metric("scl_rwlock_hold_seconds_total", labels{"lock": l.Name, "class": "write"}, seconds(l.WriterHold))
+		}
+		ew.family("scl_rwlock_acquisitions_total", "counter", "Acquisitions per RW-SCL class.")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_acquisitions_total", labels{"lock": l.Name, "class": "read"}, float64(l.ReaderOps))
+			ew.metric("scl_rwlock_acquisitions_total", labels{"lock": l.Name, "class": "write"}, float64(l.WriterOps))
+		}
+		ew.family("scl_rwlock_idle_seconds_total", "counter", "Total time the RW lock was wholly unheld.")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_idle_seconds_total", labels{"lock": l.Name}, seconds(l.Idle))
+		}
+		ew.family("scl_rwlock_elapsed_seconds", "gauge", "Time since the RW lock was created.")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_elapsed_seconds", labels{"lock": l.Name}, seconds(l.Elapsed))
+		}
+	}
+
+	if len(snap.Rings) > 0 {
+		ew.family("scl_trace_events_total", "counter", "Events recorded into the trace ring.")
+		for _, g := range snap.Rings {
+			ew.metric("scl_trace_events_total", labels{"ring": g.Name}, float64(g.Seen))
+		}
+		ew.family("scl_trace_dropped_total", "counter", "Events dropped from the trace ring by wrap-around.")
+		for _, g := range snap.Rings {
+			ew.metric("scl_trace_dropped_total", labels{"ring": g.Name}, float64(g.Dropped))
+		}
+	}
+	return ew.err
+}
+
+// MetricsHandler serves WritePrometheus over HTTP — mount it wherever
+// your Prometheus scraper looks, conventionally /metrics.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func forEachEntity(snap Snapshot, fn func(lock string, e EntitySnapshot, lb labels)) {
+	for _, l := range snap.Locks {
+		for _, e := range l.Entities {
+			fn(l.Name, e, labels{
+				"lock":      l.Name,
+				"entity":    e.Label,
+				"entity_id": fmt.Sprint(e.ID),
+			})
+		}
+	}
+}
+
+func seconds(d time.Duration) float64 { return d.Seconds() }
+
+// labels is a small label set rendered deterministically (sorted keys).
+type labels map[string]string
+
+func (lb labels) with(k, v string) labels {
+	out := make(labels, len(lb)+1)
+	for key, val := range lb {
+		out[key] = val
+	}
+	out[k] = v
+	return out
+}
+
+func (lb labels) String() string {
+	if len(lb) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(lb))
+	for k := range lb {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(lb[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// errWriter accumulates the first write error so the exposition code
+// stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) family(name, typ, help string) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (ew *errWriter) metric(name string, lb labels, v float64) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, "%s%s %g\n", name, lb, v)
+}

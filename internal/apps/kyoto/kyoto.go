@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scl"
@@ -35,7 +36,7 @@ const (
 type DB struct {
 	table *hashtable.Table
 	keys  int
-	sum   uint32 // checksum sink, keeps the record work alive
+	sum   atomic.Uint32 // checksum sink, keeps the record work alive
 }
 
 // NewDB creates a database preloaded with n entries (the paper uses ten
@@ -64,7 +65,8 @@ func (db *DB) Read(rng *rand.Rand) bool {
 		for p := 0; p < readPasses; p++ {
 			sum = crc32.Update(sum, crc32.IEEETable, v)
 		}
-		db.sum = sum
+		// Atomic: concurrent readers share the sink under RLock.
+		db.sum.Store(sum)
 	}
 	return ok
 }
@@ -78,7 +80,7 @@ func (db *DB) Write(rng *rand.Rand) {
 	for p := 0; p < writePasses; p++ {
 		sum = crc32.Update(sum, crc32.IEEETable, val[:])
 	}
-	db.sum = sum
+	db.sum.Store(sum)
 	db.table.Put(key(rng.Intn(db.keys)), val[:])
 }
 

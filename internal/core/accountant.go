@@ -86,6 +86,9 @@ type Release struct {
 	Penalty time.Duration
 	// Hold is the duration of the critical section that just ended.
 	Hold time.Duration
+	// SliceUse is the hold time the owner accumulated within the slice
+	// that just expired (set only when SliceExpired; used by tracing).
+	SliceUse time.Duration
 }
 
 // Accountant tracks lock usage per entity and makes the SCL fairness
@@ -258,6 +261,9 @@ func (a *Accountant) OnRelease(id ID, now time.Duration) Release {
 		return rel
 	}
 	rel.SliceExpired = true
+	if a.hasOwner && a.sliceOwner == id {
+		rel.SliceUse = e.sliceUsage
+	}
 	rel.Penalty = a.penalty(e)
 	if rel.Penalty > 0 {
 		e.bannedUntil = now + rel.Penalty

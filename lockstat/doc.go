@@ -1,0 +1,36 @@
+// Package lockstat instruments existing locks with the measurements this
+// repository's reproduction is built on: per-entity lock hold times, wait
+// times, and lock-opportunity fairness. Wrap a lock you suspect of
+// subverting your scheduler, run your workload, and read the report — the
+// same methodology as the paper's Table 1 and Section 3.
+//
+// Use it to answer, for your own application, the two questions of paper
+// §2.3: do critical-section lengths differ across threads, and is a large
+// fraction of time spent inside critical sections? If both are yes, the
+// lock dictates CPU allocation and a scheduler-cooperative lock (package
+// scl) will restore control.
+//
+// # Paper-to-code map
+//
+// The measurements correspond to the paper as follows:
+//
+//   - Hold-time distributions per entity (Report.Entities, each with
+//     hold/wait quantiles) — the methodology behind Table 1's
+//     per-application critical-section profiles.
+//   - Lock opportunity time, Report-level: an entity's own hold time plus
+//     the time the lock sat idle (paper §3, equation 1) — the quantity
+//     SCLs equalize. Computed per entity in the report.
+//   - Jain's fairness index over lock opportunity times (Report.JainLOT)
+//     — the paper's fairness measure (§3.1); 1 is perfectly fair, 1/n is
+//     one entity taking everything.
+//   - Report.Subverted — the §2.3 diagnosis packaged as a predicate: held
+//     fraction above one half (Report.HeldFraction) combined with a skewed
+//     LOT distribution means lock usage, not the scheduler, is deciding
+//     who runs.
+//
+// lockstat is diagnosis only: it observes a lock you already have. To fix
+// a subverted lock, switch it to scl.Mutex (or scl.RWLock) — see the scl
+// package documentation and examples/diagnose for the full workflow. For
+// continuous (rather than one-shot) observation of scl locks themselves,
+// see the Tracer interface in package scl and the exporters in scl/export.
+package lockstat

@@ -1,0 +1,38 @@
+package lockstat_test
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scl/lockstat"
+)
+
+// Wrap an existing lock, attribute usage to named entities, and read the
+// subversion diagnosis — the paper's §2.3 methodology on your own lock.
+func ExampleWrap() {
+	var mu sync.Mutex
+	l := lockstat.Wrap(&mu)
+
+	// One handle per schedulable entity. The "batch" job runs critical
+	// sections 50× longer than the "interactive" one.
+	batch := l.Handle("batch")
+	interactive := l.Handle("interactive")
+	for i := 0; i < 5; i++ {
+		batch.Lock()
+		time.Sleep(5 * time.Millisecond)
+		batch.Unlock()
+		interactive.Lock()
+		time.Sleep(100 * time.Microsecond)
+		interactive.Unlock()
+	}
+
+	rep := l.Report()
+	fmt.Println("entities measured:", len(rep.Entities))
+	fmt.Println("dominant holder:", rep.Entities[0].Name)
+	fmt.Println("subverted:", rep.Subverted())
+	// Output:
+	// entities measured: 2
+	// dominant holder: batch
+	// subverted: true
+}

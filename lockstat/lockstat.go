@@ -1,14 +1,3 @@
-// Package lockstat instruments existing locks with the measurements this
-// repository's reproduction is built on: per-entity lock hold times, wait
-// times, and lock-opportunity fairness. Wrap a lock you suspect of
-// subverting your scheduler, run your workload, and read the report — the
-// same methodology as the paper's Table 1 and Section 3.
-//
-// Use it to answer, for your own application, the two questions of paper
-// §2.3: do critical-section lengths differ across threads, and is a large
-// fraction of time spent inside critical sections? If both are yes, the
-// lock dictates CPU allocation and a scheduler-cooperative lock (package
-// scl) will restore control.
 package lockstat
 
 import (

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scl/internal/core"
+	"scl/trace"
 )
 
 // Mutex is a Scheduler-Cooperative mutual-exclusion lock (the paper's
@@ -20,7 +21,9 @@ import (
 // slice boundaries; over-users are banned for the penalty period computed
 // by the accounting engine.
 type Mutex struct {
-	opts Options
+	opts   Options
+	name   string
+	tracer Tracer
 
 	mu       sync.Mutex // guards all fields below
 	acct     *core.Accountant
@@ -49,8 +52,10 @@ type waiter struct {
 // NewMutex creates a Scheduler-Cooperative mutex.
 func NewMutex(opts Options) *Mutex {
 	m := &Mutex{
-		opts: opts,
-		refs: make(map[core.ID]int),
+		opts:   opts,
+		name:   opts.Name,
+		tracer: opts.Tracer,
+		refs:   make(map[core.ID]int),
 		acct: core.NewAccountant(core.Params{
 			Slice:           opts.sliceLen(),
 			BanCap:          opts.BanCap,
@@ -59,6 +64,17 @@ func NewMutex(opts Options) *Mutex {
 	}
 	m.stats.init()
 	return m
+}
+
+// Name returns the lock's configured label ("" if unnamed).
+func (m *Mutex) Name() string { return m.name }
+
+// SetTracer installs (or, with nil, removes) a Tracer at runtime, e.g. to
+// attach a trace.Ring flight recorder to a live lock.
+func (m *Mutex) SetTracer(t Tracer) {
+	m.mu.Lock()
+	m.tracer = t
+	m.mu.Unlock()
 }
 
 // Handle is one schedulable entity's endpoint on a Mutex. A Handle must
@@ -130,9 +146,13 @@ func (h *Handle) Name() string { return h.name }
 // the penalty is computed at release and imposed at acquire).
 func (h *Handle) Lock() {
 	m := h.m
+	reqAt := time.Duration(-1) // first clock read inside the loop
 	for {
 		m.mu.Lock()
 		now := monotime()
+		if reqAt < 0 {
+			reqAt = now
+		}
 		until := m.acct.BannedUntil(h.id)
 		if until <= now {
 			break // proceed, still holding m.mu
@@ -143,7 +163,7 @@ func (h *Handle) Lock() {
 	// Fast path: we own the live slice, or the lock is wholly free.
 	now := monotime()
 	if !m.held && !m.transfer && m.fastEligible(h, now) {
-		m.acquireLocked(h, now, now)
+		m.acquireLocked(h, now, reqAt)
 		m.mu.Unlock()
 		return
 	}
@@ -172,7 +192,7 @@ func (h *Handle) Lock() {
 		m.acct.StartSlice(h.id, now)
 	}
 	m.promoteHead()
-	m.acquireLocked(h, now, now)
+	m.acquireLocked(h, now, reqAt)
 	m.mu.Unlock()
 }
 
@@ -196,9 +216,15 @@ func (m *Mutex) acquireLocked(h *Handle, now, reqAt time.Duration) {
 		m.acct.Register(h.id, h.weight, now)
 	}
 	m.held = true
+	wait := now - reqAt
+	if wait < 0 {
+		wait = 0
+	}
 	m.acct.OnAcquire(h.id, now)
-	m.stats.onAcquire(int64(h.id), now)
-	_ = reqAt
+	m.stats.onAcquire(int64(h.id), h.name, now, wait)
+	if m.tracer != nil {
+		m.tracer.OnAcquire(m.event(trace.KindAcquire, now, h.id, h.name, wait))
+	}
 }
 
 // await blocks until the waiter is granted. The queue head spins briefly
@@ -258,6 +284,18 @@ func (h *Handle) Unlock() {
 	rel := m.acct.OnRelease(h.id, now)
 	m.held = false
 	m.stats.onRelease(int64(h.id), now)
+	if m.tracer != nil {
+		m.tracer.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
+		if rel.SliceExpired {
+			m.tracer.OnSliceEnd(m.event(trace.KindSliceEnd, now, h.id, h.name, rel.SliceUse))
+		}
+		if rel.Penalty > 0 {
+			m.tracer.OnBan(m.event(trace.KindBan, now, h.id, h.name, rel.Penalty))
+		}
+	}
+	if rel.Penalty > 0 {
+		m.stats.onBan(int64(h.id), rel.Penalty)
+	}
 	if m.opts.InactiveTimeout > 0 {
 		m.acct.Expire(now)
 	}
@@ -271,6 +309,7 @@ func (h *Handle) Unlock() {
 			if w := m.takeClassWaiter(owner); w != nil {
 				m.transfer = true
 				w.intra = true
+				m.handoff(w, now)
 				w.grant()
 				return
 			}
@@ -278,7 +317,15 @@ func (h *Handle) Unlock() {
 		m.armSliceEnd()
 		return
 	}
-	m.transferLocked()
+	m.transferLocked(now)
+}
+
+// handoff records an ownership grant to w. m.mu held.
+func (m *Mutex) handoff(w *waiter, now time.Duration) {
+	m.stats.onHandoff(int64(w.h.id))
+	if m.tracer != nil {
+		m.tracer.OnHandoff(m.event(trace.KindHandoff, now, w.h.id, w.h.name, 0))
+	}
 }
 
 // takeClassWaiter finds a queued waiter of the given entity, detaching it
@@ -299,7 +346,7 @@ func (m *Mutex) takeClassWaiter(owner core.ID) *waiter {
 
 // transferLocked hands the free, slice-expired lock to the head waiter or
 // clears the slice. m.mu held.
-func (m *Mutex) transferLocked() {
+func (m *Mutex) transferLocked(now time.Duration) {
 	if m.transfer {
 		return
 	}
@@ -308,6 +355,7 @@ func (m *Mutex) transferLocked() {
 		return
 	}
 	m.transfer = true
+	m.handoff(m.next, now)
 	m.next.grant()
 }
 
@@ -345,10 +393,17 @@ func (m *Mutex) onSliceTimer() {
 	if m.held || m.transfer || m.next == nil {
 		return
 	}
-	if _, ok := m.acct.SliceOwner(); !ok || !m.acct.SliceExpired(monotime()) {
+	now := monotime()
+	owner, ok := m.acct.SliceOwner()
+	if !ok || !m.acct.SliceExpired(now) {
 		return
 	}
-	m.transferLocked()
+	if m.tracer != nil {
+		// The slice ran out while the owner sat outside the critical
+		// section; no release will report it, so the timer does.
+		m.tracer.OnSliceEnd(m.event(trace.KindSliceEnd, now, owner, "", 0))
+	}
+	m.transferLocked(now)
 }
 
 // Stats returns a snapshot of per-entity hold times and the lock's idle

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"scl/internal/core"
+	"scl/trace"
 )
 
 // RWLock is a Reader-Writer Scheduler-Cooperative Lock (the paper's
@@ -21,11 +22,14 @@ type RWLock struct {
 	mu   sync.Mutex
 	ctrl *core.RWController
 
+	name   string
+	tracer Tracer
+
 	readers      int
 	writerActive bool
 
-	waitR []chan struct{}
-	waitW []chan struct{}
+	waitR []rwWaiter
+	waitW []rwWaiter
 
 	// One reusable timer drives phase-end re-evaluation; re-arming per
 	// operation would spawn a goroutine per firing (time.AfterFunc), which
@@ -42,6 +46,18 @@ type RWLock struct {
 	writerOps  int64
 	idleTotal  time.Duration
 	createdAt  time.Duration
+
+	// tracing state: start of the current reader busy interval / writer
+	// hold / slice phase, for event details.
+	rStart     time.Duration
+	wStart     time.Duration
+	phaseStart time.Duration
+}
+
+// rwWaiter is one queued RLock or WLock call.
+type rwWaiter struct {
+	ch    chan struct{}
+	since time.Duration
 }
 
 // NewRWLock creates an RW-SCL with the given class weights (e.g. 9 and 1)
@@ -57,7 +73,41 @@ func NewRWLock(readWeight, writeWeight int64, period time.Duration) *RWLock {
 		}),
 		lastChange: now,
 		createdAt:  now,
+		phaseStart: now,
 	}
+}
+
+// SetName labels the lock in trace events and metrics export.
+func (l *RWLock) SetName(name string) *RWLock {
+	l.mu.Lock()
+	l.name = name
+	l.mu.Unlock()
+	return l
+}
+
+// Name returns the lock's configured label ("" if unnamed).
+func (l *RWLock) Name() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.name
+}
+
+// SetTracer installs (or, with nil, removes) a Tracer. The reader and
+// writer classes appear as the pseudo-entities trace.EntityReaders and
+// trace.EntityWriters — the class is the schedulable entity in an RW-SCL.
+// Release events carry the writer's hold, or for readers the length of
+// the just-ended busy interval (the union of overlapping reads) when the
+// last reader leaves; slice-end events fire at phase switches with the
+// outgoing phase's length.
+func (l *RWLock) SetTracer(t Tracer) {
+	l.mu.Lock()
+	l.tracer = t
+	l.mu.Unlock()
+}
+
+// event assembles a trace.Event for this lock. l.mu held.
+func (l *RWLock) event(kind trace.Kind, now time.Duration, entity int64, detail time.Duration) trace.Event {
+	return trace.Event{At: now, Kind: kind, Lock: l.name, Entity: entity, Detail: detail}
 }
 
 // settle advances the usage integrals to now. l.mu held.
@@ -84,13 +134,19 @@ func (l *RWLock) RLock() {
 	if l.ctrl.Phase() == core.PhaseRead && !l.writerActive {
 		l.classEntered(now)
 		l.settle(now)
+		if l.readers == 0 {
+			l.rStart = now
+		}
 		l.readers++
 		l.readerOps++
+		if l.tracer != nil {
+			l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
+		}
 		l.mu.Unlock()
 		return
 	}
 	ch := make(chan struct{}, 1)
-	l.waitR = append(l.waitR, ch)
+	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now})
 	l.armPhaseTimer()
 	l.mu.Unlock()
 	<-ch // granted: reader count already bumped by the granter
@@ -105,6 +161,13 @@ func (l *RWLock) RUnlock() {
 	if l.readers < 0 {
 		l.mu.Unlock()
 		panic("scl: RUnlock without RLock")
+	}
+	if l.tracer != nil {
+		var busy time.Duration
+		if l.readers == 0 {
+			busy = now - l.rStart // the union of the overlapping reads
+		}
+		l.tracer.OnRelease(l.event(trace.KindRelease, now, trace.EntityReaders, busy))
 	}
 	l.advanceLocked(now)
 	l.mu.Unlock()
@@ -123,11 +186,15 @@ func (l *RWLock) WLock() {
 		l.settle(now)
 		l.writerActive = true
 		l.writerOps++
+		l.wStart = now
+		if l.tracer != nil {
+			l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, 0))
+		}
 		l.mu.Unlock()
 		return
 	}
 	ch := make(chan struct{}, 1)
-	l.waitW = append(l.waitW, ch)
+	l.waitW = append(l.waitW, rwWaiter{ch: ch, since: now})
 	l.armPhaseTimer()
 	l.mu.Unlock()
 	<-ch // granted: writerActive already set by the granter
@@ -143,6 +210,9 @@ func (l *RWLock) WUnlock() {
 	}
 	l.settle(now)
 	l.writerActive = false
+	if l.tracer != nil {
+		l.tracer.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
+	}
 	l.advanceLocked(now)
 	l.mu.Unlock()
 }
@@ -161,6 +231,14 @@ func (l *RWLock) advanceLocked(now time.Duration) {
 	before := l.ctrl.Phase()
 	if l.ctrl.MaybeSwitch(now, curWants, otherWants) != before {
 		l.phaseFresh = true
+		if l.tracer != nil {
+			out := trace.EntityReaders
+			if before == core.PhaseWrite {
+				out = trace.EntityWriters
+			}
+			l.tracer.OnSliceEnd(l.event(trace.KindSliceEnd, now, out, now-l.phaseStart))
+		}
+		l.phaseStart = now
 	}
 	l.grantLocked(now)
 	l.armPhaseTimer()
@@ -184,10 +262,17 @@ func (l *RWLock) grantLocked(now time.Duration) {
 		}
 		l.classEntered(now)
 		l.settle(now)
-		for _, ch := range l.waitR {
+		if l.readers == 0 {
+			l.rStart = now
+		}
+		for _, w := range l.waitR {
 			l.readers++
 			l.readerOps++
-			ch <- struct{}{}
+			if l.tracer != nil {
+				l.tracer.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityReaders, 0))
+				l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, now-w.since))
+			}
+			w.ch <- struct{}{}
 		}
 		l.waitR = l.waitR[:0]
 		return
@@ -197,11 +282,16 @@ func (l *RWLock) grantLocked(now time.Duration) {
 	}
 	l.classEntered(now)
 	l.settle(now)
-	ch := l.waitW[0]
+	w := l.waitW[0]
 	l.waitW = l.waitW[1:]
 	l.writerActive = true
 	l.writerOps++
-	ch <- struct{}{}
+	l.wStart = now
+	if l.tracer != nil {
+		l.tracer.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityWriters, 0))
+		l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, now-w.since))
+	}
+	w.ch <- struct{}{}
 }
 
 // armPhaseTimer schedules a phase re-evaluation at the current slice's end

@@ -1,31 +1,3 @@
-// Package scl implements Scheduler-Cooperative Locks (SCLs) for Go,
-// reproducing the locking primitives of "Avoiding Scheduler Subversion
-// using Scheduler-Cooperative Locks" (Patel et al., EuroSys 2020).
-//
-// Classic locks let whoever holds the lock longest dominate the CPU: lock
-// usage, not the scheduler, decides who runs (the paper's "scheduler
-// subversion" problem). SCLs fix this by accounting lock usage per
-// schedulable entity and giving every entity a proportional time window of
-// lock opportunity:
-//
-//   - Mutex is a u-SCL: a mutual-exclusion lock with per-entity usage
-//     accounting, lock slices (an owner may re-acquire freely within its
-//     slice), and penalties that ban over-users until the other entities
-//     have had their proportional opportunity.
-//   - RWLock is an RW-SCL: a reader-writer lock whose read and write
-//     slices alternate with lengths proportional to configured class
-//     weights, so neither readers nor writers can starve the other side.
-//   - TicketLock, SpinLock and BargingMutex are the traditional baselines
-//     the paper compares against.
-//
-// Entities are explicit: each goroutine (or connection, tenant, work
-// class — any schedulable entity) calls Register on a Mutex to obtain a
-// Handle and locks through it. This mirrors the paper's per-thread state
-// (allocated via pthread keys in the original C implementation); Go has no
-// per-goroutine storage, so registration is explicit.
-//
-// Weights use the Linux CFS nice-to-weight table, so lock-opportunity
-// shares line up with CPU shares under a proportional-share scheduler.
 package scl
 
 import (
@@ -50,6 +22,12 @@ type Options struct {
 	// InactiveTimeout, when positive, garbage-collects entities that have
 	// not used the lock recently (k-SCL behaviour; the paper uses 1s).
 	InactiveTimeout time.Duration
+	// Name labels the lock in trace events and metrics export.
+	Name string
+	// Tracer, when non-nil, receives structured lock events (see the
+	// Tracer interface and package scl/trace). Nil disables tracing at
+	// the cost of a nil check per operation.
+	Tracer Tracer
 }
 
 func (o Options) sliceLen() time.Duration {

@@ -1,15 +1,3 @@
-// Package sim is a deterministic discrete-event simulator of CPUs, a
-// proportional-share (CFS-like) scheduler, and locks. It is the substrate
-// on which this repository reproduces the evaluation of "Avoiding Scheduler
-// Subversion using Scheduler-Cooperative Locks" (EuroSys 2020): simulated
-// threads are ordinary Go functions, time is virtual nanoseconds, and every
-// run with the same seed produces identical results.
-//
-// Concurrency model: each simulated thread (Task) runs on its own goroutine,
-// but exactly one goroutine — the engine or a single task — executes at any
-// moment. Control is handed back and forth over unbuffered channels, so all
-// engine and lock state is accessed without data races and the simulation is
-// fully sequential and deterministic.
 package sim
 
 import (

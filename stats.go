@@ -6,34 +6,85 @@ import (
 	"scl/internal/metrics"
 )
 
+// distCap bounds the per-entity hold/wait reservoirs (Vitter's algorithm
+// R): distributions stay accurate in expectation with fixed memory,
+// however long the lock lives.
+const distCap = 512
+
 // lockStats mirrors the simulator's lock accounting for the real-time
-// locks: per-entity hold time, acquisition counts, and lock idle time.
-// Callers must serialize access (the enclosing lock's mutex).
+// locks: per-entity hold time, acquisition counts, wait and hold
+// distributions, ban totals, and lock idle time. Callers must serialize
+// access (the enclosing lock's mutex).
+//
+// Hold time is accounted as a holder-count integral per entity
+// (Σ individual holds = ∫ holders_i(t) dt), so entities whose holds
+// overlap themselves — several readers of one class, or siblings of one
+// group — are credited every concurrent hold, not just the last one to
+// acquire (the bug the map-of-start-times version had).
 type lockStats struct {
-	holders      int
-	idleStart    time.Duration
-	idle         time.Duration
-	hold         map[int64]time.Duration
-	inFlight     map[int64]time.Duration
-	acquisitions map[int64]int64
-	started      time.Duration
+	holders   int
+	idleStart time.Duration
+	idle      time.Duration
+	started   time.Duration
+	entities  map[int64]*entityStats
+}
+
+type entityStats struct {
+	name         string
+	acquisitions int64
+	active       int           // outstanding holds; >1 only for shared/overlapping use
+	settledAt    time.Duration // last hold-integral settlement
+	opStart      time.Duration // when active went 0 -> 1 (per-op union sample)
+	hold         time.Duration
+	bans         int64
+	banTime      time.Duration
+	handoffs     int64
+	holds        *metrics.Reservoir
+	waits        *metrics.Reservoir
 }
 
 func (s *lockStats) init() {
-	s.hold = make(map[int64]time.Duration)
-	s.inFlight = make(map[int64]time.Duration)
-	s.acquisitions = make(map[int64]int64)
+	s.entities = make(map[int64]*entityStats)
 	s.idleStart = monotime()
 	s.started = s.idleStart
 }
 
-func (s *lockStats) onAcquire(id int64, now time.Duration) {
+func (s *lockStats) entity(id int64) *entityStats {
+	e, ok := s.entities[id]
+	if !ok {
+		e = &entityStats{
+			holds: metrics.NewReservoir(distCap, id),
+			waits: metrics.NewReservoir(distCap, id+1),
+		}
+		s.entities[id] = e
+	}
+	return e
+}
+
+// settle advances the entity's hold integral to now.
+func (e *entityStats) settle(now time.Duration) {
+	if e.active > 0 && now > e.settledAt {
+		e.hold += time.Duration(e.active) * (now - e.settledAt)
+	}
+	e.settledAt = now
+}
+
+func (s *lockStats) onAcquire(id int64, name string, now time.Duration, wait time.Duration) {
 	if s.holders == 0 {
 		s.idle += now - s.idleStart
 	}
 	s.holders++
-	s.acquisitions[id]++
-	s.inFlight[id] = now
+	e := s.entity(id)
+	if name != "" {
+		e.name = name
+	}
+	e.settle(now)
+	if e.active == 0 {
+		e.opStart = now
+	}
+	e.active++
+	e.acquisitions++
+	e.waits.Add(wait)
 }
 
 func (s *lockStats) onRelease(id int64, now time.Duration) {
@@ -41,27 +92,58 @@ func (s *lockStats) onRelease(id int64, now time.Duration) {
 	if s.holders == 0 {
 		s.idleStart = now
 	}
-	if at, ok := s.inFlight[id]; ok {
-		s.hold[id] += now - at
-		delete(s.inFlight, id)
+	e := s.entity(id)
+	e.settle(now)
+	if e.active > 0 {
+		e.active--
+		if e.active == 0 {
+			// One per-op sample per busy interval: for exclusive locks this
+			// is exactly the critical-section length; for overlapping holds
+			// of one entity it is the union interval.
+			e.holds.Add(now - e.opStart)
+		}
 	}
 }
 
+func (s *lockStats) onBan(id int64, penalty time.Duration) {
+	e := s.entity(id)
+	e.bans++
+	e.banTime += penalty
+}
+
+func (s *lockStats) onHandoff(id int64) {
+	s.entity(id).handoffs++
+}
+
 func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
+	n := len(s.entities)
 	snap := StatsSnapshot{
-		Hold:         make(map[int64]time.Duration, len(s.hold)),
-		Acquisitions: make(map[int64]int64, len(s.acquisitions)),
+		Hold:         make(map[int64]time.Duration, n),
+		Acquisitions: make(map[int64]int64, n),
+		Names:        make(map[int64]string, n),
+		Bans:         make(map[int64]int64, n),
+		BanTime:      make(map[int64]time.Duration, n),
+		Handoffs:     make(map[int64]int64, n),
+		HoldDist:     make(map[int64]metrics.Summary, n),
+		WaitDist:     make(map[int64]metrics.Summary, n),
 		Idle:         s.idle,
 		Elapsed:      now - s.started,
 	}
-	for id, h := range s.hold {
-		snap.Hold[id] = h
-	}
-	for id, at := range s.inFlight {
-		snap.Hold[id] += now - at
-	}
-	for id, n := range s.acquisitions {
-		snap.Acquisitions[id] = n
+	for id, e := range s.entities {
+		hold := e.hold
+		if e.active > 0 && now > e.settledAt {
+			hold += time.Duration(e.active) * (now - e.settledAt)
+		}
+		snap.Hold[id] = hold
+		snap.Acquisitions[id] = e.acquisitions
+		if e.name != "" {
+			snap.Names[id] = e.name
+		}
+		snap.Bans[id] = e.bans
+		snap.BanTime[id] = e.banTime
+		snap.Handoffs[id] = e.handoffs
+		snap.HoldDist[id] = e.holds.Summary()
+		snap.WaitDist[id] = e.waits.Summary()
 	}
 	if s.holders == 0 && now > s.idleStart {
 		snap.Idle += now - s.idleStart
@@ -75,6 +157,20 @@ type StatsSnapshot struct {
 	Hold map[int64]time.Duration
 	// Acquisitions maps entity ID to acquisition count.
 	Acquisitions map[int64]int64
+	// Names maps entity ID to the label set via Handle.SetName (entries
+	// exist only for named entities).
+	Names map[int64]string
+	// Bans counts penalties imposed per entity; BanTime is their total
+	// length (paper §4.2 penalties).
+	Bans    map[int64]int64
+	BanTime map[int64]time.Duration
+	// Handoffs counts ownership grants received per entity (slice
+	// transfers and intra-entity sibling handoffs).
+	Handoffs map[int64]int64
+	// HoldDist and WaitDist summarize per-operation hold and wait (queue
+	// plus ban) distributions from bounded reservoir samples.
+	HoldDist map[int64]metrics.Summary
+	WaitDist map[int64]metrics.Summary
 	// Idle is the total time the lock was unheld.
 	Idle time.Duration
 	// Elapsed is the time since the lock was created.
@@ -101,6 +197,15 @@ func (s StatsSnapshot) JainLOT(ids ...int64) float64 {
 		xs[i] = float64(s.LOT(id))
 	}
 	return metrics.Jain(xs)
+}
+
+// IDs returns the entity IDs present in the snapshot, unordered.
+func (s StatsSnapshot) IDs() []int64 {
+	ids := make([]int64, 0, len(s.Hold))
+	for id := range s.Hold {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // ID returns the handle's entity identifier, usable with StatsSnapshot.

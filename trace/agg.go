@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"scl/internal/metrics"
+)
+
+// EntityTotals accumulates one entity's usage from an event stream.
+type EntityTotals struct {
+	// Label identifies the entity (Event.Label of its events).
+	Label string
+	// Entity is the entity ID from the events.
+	Entity int64
+	// Acquires and Releases count the matching events.
+	Acquires, Releases int64
+	// Hold is cumulative critical-section time (Σ release details).
+	Hold time.Duration
+	// Holds and Waits are the per-operation samples, for distributions.
+	Holds, Waits []time.Duration
+	// Bans counts penalties imposed; BanTime is their total length.
+	Bans    int64
+	BanTime time.Duration
+	// Handoffs counts ownership grants to this entity; SliceEnds counts
+	// slice expirations charged to it.
+	Handoffs, SliceEnds int64
+}
+
+// LockTotals aggregates one lock's event stream.
+type LockTotals struct {
+	// Lock is the lock's name ("" for events from an unnamed lock).
+	Lock string
+	// Span is the time between the first and last event.
+	Span time.Duration
+	// Busy is the union of held intervals; Idle is Span − Busy.
+	Busy, Idle time.Duration
+	// Entities, sorted by descending hold time.
+	Entities []*EntityTotals
+}
+
+// LOT returns an entity's lock opportunity time (paper eq. 1): its own
+// hold time plus the lock's idle time.
+func (l *LockTotals) LOT(e *EntityTotals) time.Duration { return e.Hold + l.Idle }
+
+// JainHold computes Jain's fairness index over the entities' hold times.
+func (l *LockTotals) JainHold() float64 {
+	xs := make([]float64, len(l.Entities))
+	for i, e := range l.Entities {
+		xs[i] = float64(e.Hold)
+	}
+	return metrics.Jain(xs)
+}
+
+// JainLOT computes Jain's fairness index over lock opportunity times.
+func (l *LockTotals) JainLOT() float64 {
+	xs := make([]float64, len(l.Entities))
+	for i, e := range l.Entities {
+		xs[i] = float64(l.LOT(e))
+	}
+	return metrics.Jain(xs)
+}
+
+// Aggregate reconstructs per-lock, per-entity usage accounting from an
+// event stream: hold totals and distributions from release events, wait
+// distributions from acquire events, ban totals, and the lock's busy/idle
+// split (holder-count integral over acquire/release pairs). This is the
+// replay path of cmd/scltop: the same fairness numbers the live Stats()
+// snapshots report, recomputed from a ring-buffer dump.
+//
+// Locks are keyed by Event.Lock, entities by Event.Label, so dumps from
+// the simulator (task names, no IDs) and from the real locks aggregate
+// identically.
+func Aggregate(evs []Event) []*LockTotals {
+	type lockState struct {
+		totals   *LockTotals
+		entities map[string]*EntityTotals
+		holders  int
+		busyFrom time.Duration
+		first    time.Duration
+		last     time.Duration
+		seen     bool
+	}
+	locks := make(map[string]*lockState)
+	get := func(ev Event) *lockState {
+		ls, ok := locks[ev.Lock]
+		if !ok {
+			ls = &lockState{
+				totals:   &LockTotals{Lock: ev.Lock},
+				entities: make(map[string]*EntityTotals),
+			}
+			locks[ev.Lock] = ls
+		}
+		if !ls.seen {
+			ls.first, ls.seen = ev.At, true
+		}
+		ls.last = ev.At
+		return ls
+	}
+	ent := func(ls *lockState, ev Event) *EntityTotals {
+		label := ev.Label()
+		e, ok := ls.entities[label]
+		if !ok {
+			e = &EntityTotals{Label: label, Entity: ev.Entity}
+			ls.entities[label] = e
+			ls.totals.Entities = append(ls.totals.Entities, e)
+		}
+		return e
+	}
+	for _, ev := range evs {
+		ls := get(ev)
+		e := ent(ls, ev)
+		switch ev.Kind {
+		case KindAcquire:
+			e.Acquires++
+			e.Waits = append(e.Waits, ev.Detail)
+			if ls.holders == 0 {
+				ls.busyFrom = ev.At
+			}
+			ls.holders++
+		case KindRelease:
+			e.Releases++
+			e.Hold += ev.Detail
+			e.Holds = append(e.Holds, ev.Detail)
+			if ls.holders > 0 {
+				ls.holders--
+				if ls.holders == 0 {
+					ls.totals.Busy += ev.At - ls.busyFrom
+				}
+			}
+		case KindBan:
+			e.Bans++
+			e.BanTime += ev.Detail
+		case KindHandoff:
+			e.Handoffs++
+		case KindSliceEnd:
+			e.SliceEnds++
+		}
+	}
+	out := make([]*LockTotals, 0, len(locks))
+	for _, ls := range locks {
+		t := ls.totals
+		if ls.holders > 0 { // stream ended mid-hold: busy through the last event
+			t.Busy += ls.last - ls.busyFrom
+		}
+		t.Span = ls.last - ls.first
+		if t.Span > t.Busy {
+			t.Idle = t.Span - t.Busy
+		}
+		sort.Slice(t.Entities, func(i, j int) bool { return t.Entities[i].Hold > t.Entities[j].Hold })
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lock < out[j].Lock })
+	return out
+}
+
+// String renders the aggregate as a table per lock: the replay analogue
+// of a lockstat report (ops, hold, LOT, ban time, hold/wait quantiles).
+func (l *LockTotals) String() string {
+	name := l.Lock
+	if name == "" {
+		name = "(unnamed lock)"
+	}
+	var b strings.Builder
+	t := metrics.NewTable(
+		"lock "+name,
+		"entity", "ops", "hold", "hold%", "LOT", "bans", "ban time", "hold p50µs", "hold p99µs", "wait p99µs")
+	for _, e := range l.Entities {
+		holdPct := 0.0
+		if l.Span > 0 {
+			holdPct = 100 * float64(e.Hold) / float64(l.Span)
+		}
+		hd := metrics.Summarize(e.Holds)
+		wd := metrics.Summarize(e.Waits)
+		t.AddRow(e.Label, e.Acquires,
+			e.Hold.Round(time.Microsecond).String(), holdPct,
+			l.LOT(e).Round(time.Microsecond).String(),
+			e.Bans, e.BanTime.Round(time.Microsecond).String(),
+			metrics.Micros(hd.P50), metrics.Micros(hd.P99), metrics.Micros(wd.P99))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "span %v  idle %v  Jain(hold) %.3f  Jain(LOT) %.3f\n",
+		l.Span.Round(time.Microsecond), l.Idle.Round(time.Microsecond),
+		l.JainHold(), l.JainLOT())
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package scl
+
+import (
+	"time"
+
+	"scl/internal/core"
+	"scl/trace"
+)
+
+// Tracer receives structured lock events from the real-time locks: one
+// hook per event kind, mirroring the lifecycle of the paper's mechanism
+// (acquire → release → slice end → ban → handoff). Install a Tracer via
+// Options.Tracer (Mutex) or RWLock.SetTracer; a nil Tracer costs the
+// locks only a nil check per operation.
+//
+// Hooks are invoked synchronously with the lock's internal mutex held:
+// implementations must be fast, must not block, and must not call back
+// into the lock. trace.Ring is the built-in implementation — a lock-free
+// bounded flight recorder safe to leave enabled in production.
+type Tracer interface {
+	// OnAcquire fires when an entity acquires the lock. Detail is the
+	// time the acquisition waited (queueing plus any ban slept out).
+	OnAcquire(trace.Event)
+	// OnRelease fires when an entity releases the lock. Detail is the
+	// critical-section length.
+	OnRelease(trace.Event)
+	// OnSliceEnd fires when a lock slice expires (at the release that
+	// overran it, or on the slice timer if the owner stopped acquiring).
+	// Detail is the hold time the owner accumulated within the slice.
+	OnSliceEnd(trace.Event)
+	// OnBan fires when a penalty is imposed on an over-user (paper §4.2:
+	// computed at release, imposed at its next acquire). Detail is the
+	// ban length.
+	OnBan(trace.Event)
+	// OnHandoff fires when ownership is granted to a waiting entity —
+	// a slice transfer, or an intra-entity sibling handoff (paper §6).
+	OnHandoff(trace.Event)
+}
+
+// event assembles a trace.Event for this lock. m.mu held.
+func (m *Mutex) event(kind trace.Kind, now time.Duration, id core.ID, name string, detail time.Duration) trace.Event {
+	return trace.Event{
+		At:     now,
+		Kind:   kind,
+		Lock:   m.name,
+		Entity: int64(id),
+		Name:   name,
+		Detail: detail,
+	}
+}
+
+var _ Tracer = (*trace.Ring)(nil)

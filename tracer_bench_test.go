@@ -1,0 +1,44 @@
+package scl
+
+import (
+	"testing"
+	"time"
+
+	"scl/trace"
+)
+
+// The tracing-overhead contract: with Tracer nil the lock paths pay one
+// nil check; with a ring attached, one Event fill and one ring store per
+// hook. Compare:
+//
+//	go test -bench='MutexUncontended|MutexTraced' -count=5
+
+func benchLockUnlock(b *testing.B, m *Mutex) {
+	b.Helper()
+	h := m.Register()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
+func BenchmarkMutexUncontended(b *testing.B) {
+	benchLockUnlock(b, NewMutex(Options{Slice: time.Minute}))
+}
+
+func BenchmarkMutexTraced(b *testing.B) {
+	ring := trace.NewRing(1 << 16)
+	benchLockUnlock(b, NewMutex(Options{Slice: time.Minute, Tracer: ring}))
+}
+
+// The k-SCL configuration releases the slice on every unlock, the
+// worst case for per-operation accounting and event volume.
+func BenchmarkKSCLUncontended(b *testing.B) {
+	benchLockUnlock(b, NewMutex(Options{Slice: -1}))
+}
+
+func BenchmarkKSCLTraced(b *testing.B) {
+	ring := trace.NewRing(1 << 16)
+	benchLockUnlock(b, NewMutex(Options{Slice: -1, Tracer: ring}))
+}
