@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench bench-all
 
 check: build vet race
 
@@ -19,7 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Not part of the gate: the full benchmark suite (simulator experiments
-# plus the real-lock fast paths).
+# Not part of the gate: the real-lock benchmarks (fast path, contention,
+# sync-primitive baselines). Each run is appended to BENCH_scl.json by
+# cmd/benchjson, growing a benchstat-compatible performance trajectory
+# whose first entry is the pre-fast-path baseline.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_scl.json
+
+# The full benchmark suite across every package (simulator experiments
+# included); slow, and not recorded in the trajectory.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...

@@ -7,8 +7,13 @@ package scl_test
 // `go test -bench=.` regenerates the whole evaluation in miniature.
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"scl"
 	"scl/internal/experiments"
 )
 
@@ -299,5 +304,121 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		if _, ok := experiments.Get(name); !ok {
 			t.Errorf("benchmark covers unknown experiment %s", name)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Real-lock fast-path benchmarks (not simulator experiments): the cost of
+// the hot paths of scl.Mutex against sync.Mutex. `make bench` records these
+// in BENCH_scl.json so each PR has a perf trajectory.
+// ---------------------------------------------------------------------------
+
+// BenchmarkMutexOwnerReacquire measures the paper's lock-slice fast path:
+// one entity repeatedly re-acquiring a lock it owns the slice for. This is
+// the number the atomic slice-owner fast path exists to improve.
+func BenchmarkMutexOwnerReacquire(b *testing.B) {
+	m := scl.NewMutex(scl.Options{Slice: time.Hour})
+	h := m.Register()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
+// BenchmarkSyncMutexReacquire is the sync.Mutex reference for the same
+// single-owner reacquire pattern.
+func BenchmarkSyncMutexReacquire(b *testing.B) {
+	var m sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lock()
+		m.Unlock()
+	}
+}
+
+// BenchmarkMutexPingPong measures cross-entity ownership transfer on a
+// k-SCL (zero slice: every release is a slice boundary), the slow path the
+// fast path must not regress.
+func BenchmarkMutexPingPong(b *testing.B) {
+	m := scl.NewMutex(scl.Options{Slice: -1})
+	h1 := m.Register()
+	h2 := m.Register()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1.Lock()
+		h1.Unlock()
+		h2.Lock()
+		h2.Unlock()
+	}
+}
+
+// benchContended hammers one lock from n goroutines, each a distinct
+// entity, measuring aggregate critical-section throughput under contention.
+func benchContended(b *testing.B, n int, mk func() sync.Locker) {
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	var shared int64
+	lockers := make([]sync.Locker, n)
+	for i := range lockers {
+		lockers[i] = mk()
+	}
+	var idx atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lk := lockers[int(idx.Add(1)-1)%n]
+		for pb.Next() {
+			lk.Lock()
+			shared++
+			lk.Unlock()
+		}
+	})
+	_ = shared
+}
+
+func benchMutexContended(b *testing.B, n int) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	m := scl.NewMutex(scl.Options{Slice: 100 * time.Microsecond})
+	benchContended(b, n, func() sync.Locker { return m.Register() })
+}
+
+func benchSyncContended(b *testing.B, n int) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	var m sync.Mutex
+	benchContended(b, n, func() sync.Locker { return &m })
+}
+
+func BenchmarkMutexContended2(b *testing.B)  { benchMutexContended(b, 2) }
+func BenchmarkMutexContended8(b *testing.B)  { benchMutexContended(b, 8) }
+func BenchmarkMutexContended32(b *testing.B) { benchMutexContended(b, 32) }
+func BenchmarkSyncMutexContended2(b *testing.B)  { benchSyncContended(b, 2) }
+func BenchmarkSyncMutexContended8(b *testing.B)  { benchSyncContended(b, 8) }
+func BenchmarkSyncMutexContended32(b *testing.B) { benchSyncContended(b, 32) }
+
+// BenchmarkRWLockReaderReacquire measures the RW-SCL read-phase fast path:
+// repeated shared acquisitions inside one read slice.
+func BenchmarkRWLockReaderReacquire(b *testing.B) {
+	l := scl.NewRWLock(1, 1, time.Hour)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.RLock()
+		l.RUnlock()
+	}
+}
+
+// BenchmarkRWMutexReaderReacquire is the sync.RWMutex reference.
+func BenchmarkRWMutexReaderReacquire(b *testing.B) {
+	var l sync.RWMutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.RLock()
+		l.RUnlock()
 	}
 }

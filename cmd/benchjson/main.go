@@ -1,0 +1,123 @@
+// Command benchjson records `go test -bench` output as a JSON trajectory.
+//
+// It reads benchmark output on stdin, parses the standard result lines,
+// and appends one labeled run to a JSON file (default BENCH_scl.json).
+// The raw benchmark lines are preserved verbatim inside each run, so the
+// file stays benchstat-compatible — extract any two runs and diff them:
+//
+//	jq -r '.runs[0].raw[]' BENCH_scl.json > old.txt
+//	jq -r '.runs[-1].raw[]' BENCH_scl.json > new.txt
+//	benchstat old.txt new.txt
+//
+// The first run in the repository's checked-in file is the pre-fast-path
+// baseline; `make bench` appends the current numbers, growing the
+// performance trajectory over time.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Run is one labeled benchmark session.
+type Run struct {
+	Date    string   `json:"date"`
+	Label   string   `json:"label,omitempty"`
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+	// Raw holds the benchmark lines verbatim (benchstat input format).
+	Raw []string `json:"raw"`
+}
+
+// File is the trajectory: a sequence of runs, oldest first.
+type File struct {
+	Package string `json:"package"`
+	Runs    []Run  `json:"runs"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_scl.json", "trajectory file to append to")
+	label := flag.String("label", "", "label for this run")
+	pkg := flag.String("pkg", "scl", "package name recorded in a fresh file")
+	flag.Parse()
+
+	run := Run{Date: time.Now().UTC().Format(time.RFC3339), Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			run.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			run.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			run.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		run.Results = append(run.Results, r)
+		run.Raw = append(run.Raw, strings.TrimSpace(line))
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var f File
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *out, err))
+		}
+	} else {
+		f.Package = *pkg
+	}
+	f.Runs = append(f.Runs, run)
+
+	data, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d results to %s (%d runs)\n",
+		len(run.Results), *out, len(f.Runs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

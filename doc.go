@@ -46,6 +46,47 @@
 // Tracing is strictly opt-in: with a nil Tracer the only cost on the lock
 // paths is a nil check.
 //
+// # The slice-owner fast path
+//
+// The point of a lock slice (paper §4.2, Figure 3) is that re-acquisition
+// by the owner is nearly free: in the paper's Figure 3, steps 4–6, the
+// owner re-acquires with a single atomic instruction while everyone else
+// waits for the slice boundary. This implementation realizes that with a
+// packed 64-bit state word on Mutex:
+//
+//	bit 63  held      — the lock is held
+//	bit 62  transfer  — an ownership grant to a waiter is in flight
+//	bit 61  waiters   — the waiter queue is non-empty
+//	bit 60  stale     — the slice expired; the fast path stands down
+//	bits 0–59         — slice-owner entity id + 1 (0 = no owner)
+//
+// While the word names the caller's entity as the live slice owner, Lock
+// and Unlock are one compare-and-swap each — no internal mutex, no clock
+// read. Accounting is deferred, as in the paper: a per-slice operation
+// counter plus the wall-clock window of the fast regime are folded into
+// the accounting engine (core.Accountant.FoldSliceUsage) and the stats at
+// slice boundaries, handoffs, and Stats snapshots. During its slice the
+// owner is charged the slice's wall-clock window — the lock opportunity
+// it denies everyone else. Slice expiry is enforced by the slice timer,
+// which sets the stale bit so the owner's next operation takes the slow
+// path and runs the boundary (transfer, penalty, events). Mapping to the
+// paper's Figure 3:
+//
+//   - steps 1–3 (first acquisition, slice start) — Mutex.Lock slow path,
+//     startSlice mirrors ownership into the state word;
+//   - steps 4–6 (owner re-acquires within the slice) — fastLock and
+//     fastUnlock, one CAS each;
+//   - step 7 (slice expires) — onSliceTimer stale-marks the word, or the
+//     overrunning release observes the expiry directly;
+//   - steps 8–9 (transfer to the next waiter, penalty for the over-user) —
+//     transferLocked and Accountant.OnRelease, unchanged slow path.
+//
+// RWLock packs the analogous word — {writer-active, phase, waiters,
+// reader count} — so readers during an uncontested read slice (and a lone
+// writer during a write slice) acquire and release by CAS; usage
+// integrals stay exact via an atomic interval charge per operation. A
+// k-SCL (Slice ≤ 0) has no slices and therefore no fast path.
+//
 // # Paper-to-code map
 //
 // The SCL mechanism of paper §4 lives, clock-independent and shared with
@@ -57,8 +98,10 @@
 //     The real-lock wall-clock bookkeeping around it (idle time, holder
 //     overlap, distributions) is lockStats in stats.go.
 //   - §4.2 "Lock slices" — Accountant.StartSlice, SliceOwner, SliceExpired,
-//     SliceEnd. The owner's cheap re-acquisition inside its slice is
-//     Mutex.fastEligible (mutex.go); the slice-expiry timer wakeup is
+//     SliceEnd. The owner's one-CAS re-acquisition inside its slice is
+//     Mutex.fastLock/fastUnlock on the packed state word (see "The
+//     slice-owner fast path" above), with deferred usage batched through
+//     Accountant.FoldSliceUsage; the slice-expiry timer wakeup is
 //     Mutex.onSliceTimer.
 //   - §4.2 "Penalties" — Accountant.penalty computes the ban from the
 //     entity's usage beyond its proportional share; OnRelease returns it in

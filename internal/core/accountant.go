@@ -141,6 +141,12 @@ func (a *Accountant) Register(id ID, weight int64, now time.Duration) {
 	if fair := a.fairUsage(e); fair > a.params.JoinCredit {
 		e.usage = fair - a.params.JoinCredit
 		a.grandUsage += e.usage
+		// The floor can add up to the incumbent grand total; without a
+		// rescale check here, a burst of high-weight registrations could
+		// grow the counters without bound (found by FuzzAccountant).
+		if a.grandUsage > rescaleLimit {
+			a.rescale()
+		}
 	}
 }
 
@@ -272,6 +278,33 @@ func (a *Accountant) OnRelease(id ID, now time.Duration) Release {
 		a.rescale()
 	}
 	return rel
+}
+
+// FoldSliceUsage charges id a batch of deferred lock usage in one step:
+// the wall-clock window during which its live slice kept the lock via the
+// enclosing lock's atomic fast path (paper §4.2 — the slice owner
+// re-acquires with a single atomic update and accounting is deferred to
+// slice boundaries). The batch lands in the entity's cumulative usage, the
+// grand total, and the running slice's usage (so the penalty decision at
+// the coming slice end sees it), exactly as if it had been accumulated by
+// per-operation OnAcquire/OnRelease pairs.
+func (a *Accountant) FoldSliceUsage(id ID, usage time.Duration, now time.Duration) {
+	if usage <= 0 {
+		return
+	}
+	e, ok := a.entities[id]
+	if !ok {
+		return
+	}
+	e.usage += usage
+	a.grandUsage += usage
+	e.lastActive = now
+	if a.hasOwner && a.sliceOwner == id {
+		e.sliceUsage += usage
+	}
+	if a.grandUsage > rescaleLimit {
+		a.rescale()
+	}
 }
 
 // penalty computes the ban for an entity whose slice just expired.

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzAccountant drives an Accountant through a random operation sequence
+// decoded from the fuzz input and checks the bookkeeping invariants that
+// every other component (the locks' deferred fast-path folds included)
+// relies on:
+//
+//   - grandUsage == Σ usage over registered entities, always;
+//   - every penalty satisfies 0 ≤ penalty ≤ BanCap;
+//   - usage counters never go negative and stay below the rescale bound;
+//   - the Σ-invariant spans rescales (op 7 forces them); ratio
+//     preservation across rescale() has its own deterministic test below.
+//
+// Each input byte pair is one operation: the first byte selects the op
+// and entity, the second scales its duration. Seed corpus entries replay
+// the regression scenarios from accountant_test.go.
+func FuzzAccountant(f *testing.F) {
+	// Seeds from the unit-test regression cases: the Figure-2d toy
+	// schedule shape, ban-cap pressure, join-credit latecomers, expiry
+	// GC, and a rescale-crossing grind.
+	f.Add([]byte{0x00, 10, 0x21, 20, 0x01, 30, 0x22, 5, 0x41, 1})           // register/acquire/release mix
+	f.Add([]byte{0x00, 1, 0x01, 1, 0x20, 200, 0x21, 200, 0x22, 255})        // two entities, long holds → penalty
+	f.Add([]byte{0x00, 1, 0x20, 255, 0x20, 255, 0x20, 255, 0x60, 50})       // lone entity + expire
+	f.Add([]byte{0x00, 3, 0x01, 1, 0x02, 2, 0x80, 100, 0x81, 100, 0x82, 9}) // folds (fast-path batches)
+	f.Add([]byte{0x00, 1, 0x01, 1, 0x40, 0, 0x20, 255, 0x80, 255, 0x22, 1}) // unregister under load
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const banCap = 50 * time.Millisecond
+		a := NewAccountant(Params{
+			Slice:           time.Millisecond,
+			BanCap:          banCap,
+			InactiveTimeout: 40 * time.Millisecond,
+		})
+		now := time.Millisecond
+		const nEntities = 4
+		holding := make(map[ID]bool)
+
+		checkSum := func(label string) {
+			var sum time.Duration
+			for id := ID(0); id < nEntities; id++ {
+				if a.Registered(id) {
+					u := a.Usage(id)
+					if u < 0 {
+						t.Fatalf("%s: usage[%d] = %v < 0", label, id, u)
+					}
+					sum += u
+				}
+			}
+			if g := a.GrandUsage(); g != sum {
+				t.Fatalf("%s: grandUsage = %v, Σ usage = %v", label, g, sum)
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op := data[i] >> 5
+			id := ID(data[i] % nEntities)
+			d := time.Duration(data[i+1]) * 100 * time.Microsecond
+			now += d/4 + time.Microsecond
+			switch op {
+			case 0: // register (weight from the duration byte)
+				w := int64(data[i+1]%8) + 1
+				a.Register(id, w, now)
+			case 1: // acquire (also claims the slice if free)
+				if holding[id] || !a.Registered(id) {
+					continue
+				}
+				if _, ok := a.SliceOwner(); !ok {
+					a.StartSlice(id, now)
+				}
+				a.OnAcquire(id, now)
+				holding[id] = true
+			case 2: // release after d
+				if !holding[id] {
+					continue
+				}
+				now += d
+				rel := a.OnRelease(id, now)
+				holding[id] = false
+				if rel.Penalty < 0 || rel.Penalty > banCap {
+					t.Fatalf("penalty %v outside [0, %v]", rel.Penalty, banCap)
+				}
+				if rel.Hold < 0 {
+					t.Fatalf("negative hold %v", rel.Hold)
+				}
+				if rel.SliceExpired {
+					a.ClearSlice()
+				}
+			case 3: // unregister
+				if holding[id] {
+					continue // the locks never unregister a holder
+				}
+				a.Unregister(id)
+			case 4: // fold a fast-path usage batch
+				if !a.Registered(id) {
+					continue
+				}
+				a.FoldSliceUsage(id, d, now)
+			case 5: // expire inactive entities
+				for _, gone := range a.Expire(now) {
+					delete(holding, gone)
+				}
+			case 6: // slice handoff
+				if a.SliceExpired(now) && a.Registered(id) {
+					a.StartSlice(id, now)
+				}
+			case 7: // rescale pressure: a large fold forces a halving
+				if !a.Registered(id) {
+					continue
+				}
+				a.FoldSliceUsage(id, rescaleLimit/2+d, now)
+			}
+			checkSum("after op")
+			if g := a.GrandUsage(); g > 2*rescaleLimit {
+				t.Fatalf("grandUsage %v grew past the rescale bound", g)
+			}
+		}
+	})
+}
+
+// TestRescaleRatioPreservation is the deterministic companion to the fuzz
+// harness: two entities are brought to an exact 3:1 usage ratio just
+// under the rescale limit via FoldSliceUsage (the fast-path batch entry
+// point), then one more fold forces the halving — which must preserve the
+// ratio at that instant.
+func TestRescaleRatioPreservation(t *testing.T) {
+	a := NewAccountant(Params{Slice: time.Millisecond})
+	now := time.Millisecond
+	a.Register(1, 1, now)
+	a.Register(2, 1, now)
+	a.FoldSliceUsage(1, 3*(rescaleLimit/4), now)
+	a.FoldSliceUsage(2, rescaleLimit/4-time.Millisecond, now)
+	before := float64(a.Usage(1)) / float64(a.Usage(2))
+	a.FoldSliceUsage(1, 2*time.Millisecond, now) // tips grand past the limit
+	if a.GrandUsage() > rescaleLimit {
+		t.Fatalf("grand usage %v not rescaled below %v", a.GrandUsage(), rescaleLimit)
+	}
+	if a.Usage(1)+a.Usage(2) != a.GrandUsage() {
+		t.Fatalf("Σ usage %v != grand %v after rescale",
+			a.Usage(1)+a.Usage(2), a.GrandUsage())
+	}
+	after := float64(a.Usage(1)) / float64(a.Usage(2))
+	if after < before*0.999 || after > before*1.001 {
+		t.Fatalf("usage ratio %.4f -> %.4f across rescale, want preserved", before, after)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -34,6 +35,38 @@ func (r *Reservoir) Add(d time.Duration) {
 	}
 	if i := r.rng.Int63n(r.seen); i < int64(r.cap) {
 		r.samples[i] = d
+	}
+}
+
+// AddN offers n identical observations in one step. It is equivalent in
+// distribution to n sequential Add calls but costs O(cap) instead of O(n):
+// because the values are identical, only the number of slots they end up
+// occupying matters, and that count is drawn once from its expectation
+// under algorithm R. Batch accounting paths (lock fast-path folds) use
+// this to record thousands of uniform observations per fold cheaply.
+func (r *Reservoir) AddN(d time.Duration, n int64) {
+	for n > 0 && len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+		r.seen++
+		n--
+	}
+	if n <= 0 {
+		return
+	}
+	before := r.seen
+	r.seen += n
+	// Expected replacements: Σ cap/i for i in (before, before+n], i.e.
+	// cap·ln(after/before); round stochastically to stay unbiased.
+	expected := float64(r.cap) * math.Log(float64(r.seen)/float64(before))
+	k := int(expected)
+	if r.rng.Float64() < expected-float64(k) {
+		k++
+	}
+	if k > r.cap {
+		k = r.cap
+	}
+	for i := 0; i < k; i++ {
+		r.samples[r.rng.Intn(len(r.samples))] = d
 	}
 }
 

@@ -20,26 +20,70 @@ import (
 // (next-thread prefetch) while the rest sleep; ownership transfers at lock
 // slice boundaries; over-users are banned for the penalty period computed
 // by the accounting engine.
+//
+// # The slice-owner fast path
+//
+// Re-acquisition by the live slice's owner — the hot path the lock slice
+// exists for (paper §4.2, Figure 3) — is a single compare-and-swap on a
+// packed 64-bit state word {held, transfer-pending, waiters, slice-stale,
+// owner}, with no internal mutex and no clock read. Accounting for those
+// operations is deferred: an atomic per-slice accumulator (operation
+// count) plus the wall-clock fast window are folded into the accounting
+// engine and the stats at slice boundaries, ownership handoffs, and
+// Stats snapshots. During its slice the owner is charged the slice's
+// wall-clock window — the lock opportunity it denies everyone else —
+// rather than per-critical-section time, matching the paper's deferred
+// slice accounting. Slice expiry is enforced by the slice timer, which
+// marks the state word stale so the owner's next operation falls back to
+// the slow path and runs the boundary (transfer, penalty, events).
 type Mutex struct {
 	opts   Options
 	name   string
-	tracer Tracer
+	fastOK bool // slices have nonzero length (k-SCL disables the fast path)
 
-	mu       sync.Mutex // guards all fields below
-	acct     *core.Accountant
-	refs     map[core.ID]int // handles sharing each entity (Sibling)
-	held     bool
-	transfer bool // grant in flight to the head waiter
-	next     *waiter
-	parked   []*waiter
-	// One reusable timer drives slice-end transfers (an owner that stops
-	// acquiring must not strand its waiters); re-arming per operation
-	// would spawn a goroutine per firing.
+	// tracer is read lock-free on the fast path; SetTracer swaps it
+	// atomically (a plain field would race once acquire/release no longer
+	// hold mu).
+	tracer atomic.Pointer[Tracer]
+
+	// word is the packed fast-path state: {held, transfer, waiters, stale,
+	// owner id}. The fast path CASes it without mu; the slow path mutates
+	// it under mu with CAS loops that tolerate concurrent fast-path CASes.
+	word atomic.Uint64
+	// fastOps counts fast-path acquisitions since the last fold.
+	fastOps atomic.Int64
+
+	// csStart and fastHeld are owned by the current lock holder (ordered
+	// across holders by the word CASes): whether the live hold was taken
+	// on the fast path, and its traced start time (0 when untraced).
+	csStart  time.Duration
+	fastHeld bool
+
+	mu        sync.Mutex // guards all fields below
+	acct      *core.Accountant
+	refs      map[core.ID]int // handles sharing each entity (Sibling)
+	fastSince time.Duration   // start of the open fast window (-1: none)
+	next      *waiter
+	parked    []*waiter
+	// One reusable timer drives slice-end processing (stale-marking a
+	// fast-path owner, transferring to waiters, clearing an abandoned
+	// slice); re-arming per operation would spawn a goroutine per firing.
 	timer   *time.Timer
 	timerAt time.Duration // absolute arm target; avoids redundant resets
 
 	stats lockStats
 }
+
+// State-word layout. Owner occupies the low bits as id+1 (0 = no owner).
+const (
+	wordHeld     = 1 << 63 // the lock is held
+	wordTransfer = 1 << 62 // a grant to the head waiter is in flight
+	wordWaiters  = 1 << 61 // the waiter queue is non-empty
+	wordStale    = 1 << 60 // the slice expired; fast path must stand down
+	wordOwner    = 1<<60 - 1
+)
+
+func ownerBits(id core.ID) uint64 { return (uint64(id) + 1) & wordOwner }
 
 // waiter is one queued Lock call.
 type waiter struct {
@@ -54,13 +98,18 @@ func NewMutex(opts Options) *Mutex {
 	m := &Mutex{
 		opts:   opts,
 		name:   opts.Name,
-		tracer: opts.Tracer,
+		fastOK: opts.sliceLen() > 0,
 		refs:   make(map[core.ID]int),
 		acct: core.NewAccountant(core.Params{
 			Slice:           opts.sliceLen(),
 			BanCap:          opts.BanCap,
 			InactiveTimeout: opts.InactiveTimeout,
 		}),
+	}
+	m.fastSince = -1
+	if opts.Tracer != nil {
+		t := opts.Tracer
+		m.tracer.Store(&t)
 	}
 	m.stats.init()
 	return m
@@ -70,11 +119,21 @@ func NewMutex(opts Options) *Mutex {
 func (m *Mutex) Name() string { return m.name }
 
 // SetTracer installs (or, with nil, removes) a Tracer at runtime, e.g. to
-// attach a trace.Ring flight recorder to a live lock.
+// attach a trace.Ring flight recorder to a live lock. The swap is atomic
+// and safe against concurrent fast-path lock operations.
 func (m *Mutex) SetTracer(t Tracer) {
-	m.mu.Lock()
-	m.tracer = t
-	m.mu.Unlock()
+	if t == nil {
+		m.tracer.Store(nil)
+		return
+	}
+	m.tracer.Store(&t)
+}
+
+func (m *Mutex) loadTracer() Tracer {
+	if p := m.tracer.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Handle is one schedulable entity's endpoint on a Mutex. A Handle must
@@ -126,13 +185,20 @@ func (h *Handle) Sibling() *Handle {
 // Close releases the handle; the entity is unregistered when its last
 // sibling closes. The Handle must not hold the lock.
 func (h *Handle) Close() {
-	h.m.mu.Lock()
-	h.m.refs[h.id]--
-	if h.m.refs[h.id] <= 0 {
-		delete(h.m.refs, h.id)
-		h.m.acct.Unregister(h.id)
+	m := h.m
+	m.mu.Lock()
+	m.refs[h.id]--
+	if m.refs[h.id] <= 0 {
+		delete(m.refs, h.id)
+		now := monotime()
+		m.fold(now)
+		if owner, ok := m.acct.SliceOwner(); ok && owner == h.id {
+			m.fastSince = -1
+			m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
+		}
+		m.acct.Unregister(h.id)
 	}
-	h.m.mu.Unlock()
+	m.mu.Unlock()
 }
 
 // SetName attaches a label (used by the stats helpers).
@@ -141,11 +207,79 @@ func (h *Handle) SetName(name string) *Handle { h.name = name; return h }
 // Name returns the handle's label.
 func (h *Handle) Name() string { return h.name }
 
+// mutate applies f to the state word with a CAS loop that tolerates
+// concurrent fast-path CASes. m.mu held. Returns the installed word.
+func (m *Mutex) mutate(f func(uint64) uint64) uint64 {
+	for {
+		old := m.word.Load()
+		new := f(old)
+		if old == new || m.word.CompareAndSwap(old, new) {
+			return new
+		}
+	}
+}
+
+// fastLock is the slice owner's lock-free acquire: one CAS on the state
+// word, no clock read, deferred accounting. It succeeds only while the
+// lock is free, no grant is in flight, and the word names h's entity as
+// the live (non-stale) slice owner; queued waiters do not block it — the
+// owner may use its slice ahead of them, exactly as in the slow path.
+func (m *Mutex) fastLock(h *Handle) bool {
+	w := m.word.Load()
+	if w&^wordWaiters != ownerBits(h.id) {
+		return false
+	}
+	if !m.word.CompareAndSwap(w, w|wordHeld) {
+		return false
+	}
+	m.fastHeld = true
+	m.fastOps.Add(1)
+	if t := m.loadTracer(); t != nil {
+		now := monotime()
+		m.csStart = now
+		t.OnAcquire(m.event(trace.KindAcquire, now, h.id, h.name, 0))
+	} else {
+		m.csStart = 0 // a stale start must not leak into a traced release
+	}
+	return true
+}
+
+// fastUnlock releases a fast-path hold: one CAS, provided no waiter
+// queued meanwhile (waiters need the slow path's handoff logic) and the
+// slice was not marked stale by the timer. All holder-owned bookkeeping
+// (csStart, fastHeld) happens before the release CAS — after it the next
+// holder owns those fields.
+func (m *Mutex) fastUnlock(h *Handle) bool {
+	if !m.fastHeld {
+		return false
+	}
+	t := m.loadTracer()
+	var now, hold time.Duration
+	if t != nil {
+		now = monotime()
+		if m.csStart > 0 {
+			hold = now - m.csStart
+		}
+	}
+	m.fastHeld = false
+	if !m.word.CompareAndSwap(wordHeld|ownerBits(h.id), ownerBits(h.id)) {
+		m.fastHeld = true // slow path will finish this release
+		return false
+	}
+	if t != nil {
+		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, hold))
+	}
+	return true
+}
+
 // Lock acquires the mutex on behalf of the handle's entity. If the entity
 // is banned for over-use, Lock first sleeps out the penalty (paper §4.2:
 // the penalty is computed at release and imposed at acquire).
 func (h *Handle) Lock() {
 	m := h.m
+	if m.fastLock(h) {
+		return
+	}
 	reqAt := time.Duration(-1) // first clock read inside the loop
 	for {
 		m.mu.Lock()
@@ -160,9 +294,11 @@ func (h *Handle) Lock() {
 		m.mu.Unlock()
 		time.Sleep(until - now)
 	}
-	// Fast path: we own the live slice, or the lock is wholly free.
+	// Uncontended path: we own the live slice, or the lock is wholly
+	// free. setHeldLocked can lose only to a fast-path sibling; then we
+	// queue like anyone else and its release hands the slice over.
 	now := monotime()
-	if !m.held && !m.transfer && m.fastEligible(h, now) {
+	if m.word.Load()&(wordHeld|wordTransfer) == 0 && m.fastEligible(h, now) && m.setHeldLocked() {
 		m.acquireLocked(h, now, reqAt)
 		m.mu.Unlock()
 		return
@@ -175,6 +311,7 @@ func (h *Handle) Lock() {
 	} else {
 		m.parked = append(m.parked, w)
 	}
+	m.mutate(func(x uint64) uint64 { return x | wordWaiters })
 	if head {
 		m.armSliceEnd()
 	}
@@ -183,17 +320,63 @@ func (h *Handle) Lock() {
 	// Granted: finalize ownership.
 	m.mu.Lock()
 	now = monotime()
-	m.transfer = false
 	if m.next == w {
 		m.next = nil
 	}
 	if !w.intra {
 		// A slice transfer; an intra-class handoff keeps the running slice.
-		m.acct.StartSlice(h.id, now)
+		m.startSlice(h.id, now)
 	}
 	m.promoteHead()
+	// Take the lock and retire the grant in one step: the transfer bit
+	// must not clear before the held bit is up, or the previous owner's
+	// fast path could still see a free word naming it.
+	m.mutate(func(x uint64) uint64 { return (x | wordHeld) &^ wordTransfer })
+	m.syncWaitersBit()
+	m.armSliceEnd() // the transfer bit suppressed arming in startSlice
 	m.acquireLocked(h, now, reqAt)
 	m.mu.Unlock()
+}
+
+// TryLock attempts to acquire the mutex without blocking and reports
+// whether it succeeded. It fails when the handle's entity is banned, the
+// lock is held (or a grant is in flight), or other entities are queued —
+// a waiter-respecting analogue of sync.Mutex.TryLock. Like Lock, the
+// slice owner's re-acquisition is a single CAS.
+func (h *Handle) TryLock() bool {
+	m := h.m
+	// Owner reacquire with nothing queued: pure fast path.
+	if m.word.Load() == ownerBits(h.id) && m.fastLock(h) {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := monotime()
+	if m.acct.BannedUntil(h.id) > now {
+		return false
+	}
+	if m.word.Load()&(wordHeld|wordTransfer) != 0 || m.next != nil || len(m.parked) > 0 {
+		return false
+	}
+	if owner, ok := m.acct.SliceOwner(); ok && owner != h.id && !m.acct.SliceExpired(now) {
+		return false // someone else's live slice
+	}
+	if !m.fastEligible(h, now) {
+		// An expired slice with no waiters: run the boundary inline (what
+		// the slice timer would do) and take a fresh slice.
+		if _, owned := m.acct.SliceOwner(); !owned || !m.acct.SliceExpired(now) {
+			return false
+		}
+		if !m.endIdleSliceLocked(now) {
+			return false // a fast-path holder slipped in
+		}
+		m.startSlice(h.id, now)
+	}
+	if !m.setHeldLocked() {
+		return false // a fast-path sibling got there first
+	}
+	m.acquireLocked(h, now, now)
+	return true
 }
 
 // fastEligible reports whether h may take the free lock immediately.
@@ -204,27 +387,83 @@ func (m *Mutex) fastEligible(h *Handle, now time.Duration) bool {
 	case ok && owner == h.id && !m.acct.SliceExpired(now):
 		return true
 	case !ok && m.next == nil:
-		m.acct.StartSlice(h.id, now)
+		m.startSlice(h.id, now)
 		return true
 	}
 	return false
 }
 
-// acquireLocked marks h as holder. m.mu held.
+// startSlice makes id the slice owner beginning at now, mirrors ownership
+// into the fast-path state word, and schedules the slice-end timer that
+// bounds the fast-path regime. m.mu held.
+func (m *Mutex) startSlice(id core.ID, now time.Duration) {
+	m.fold(now)
+	m.acct.StartSlice(id, now)
+	if m.fastOK {
+		m.mutate(func(w uint64) uint64 {
+			return (w &^ (wordOwner | wordStale)) | ownerBits(id)
+		})
+	}
+	m.armSliceEnd()
+}
+
+// setHeldLocked closes an uncontended acquire: a CAS raises the held bit,
+// failing if a fast-path acquire (a sibling handle of the slice-owning
+// entity) got there first — the caller then queues or bails instead.
+// m.mu held.
+func (m *Mutex) setHeldLocked() bool {
+	for {
+		w := m.word.Load()
+		if w&wordHeld != 0 {
+			return false
+		}
+		if m.word.CompareAndSwap(w, w|wordHeld) {
+			return true
+		}
+	}
+}
+
+// acquireLocked books h as holder; the held bit is already up (via
+// setHeldLocked or the grant-retiring mutate). m.mu held.
 func (m *Mutex) acquireLocked(h *Handle, now, reqAt time.Duration) {
+	m.fold(now)
+	m.fastSince = -1 // held: the fast window is closed
+	m.fastHeld = false
+	m.csStart = 0
 	if !m.acct.Registered(h.id) {
 		m.acct.Register(h.id, h.weight, now)
 	}
-	m.held = true
 	wait := now - reqAt
 	if wait < 0 {
 		wait = 0
 	}
 	m.acct.OnAcquire(h.id, now)
 	m.stats.onAcquire(int64(h.id), h.name, now, wait)
-	if m.tracer != nil {
-		m.tracer.OnAcquire(m.event(trace.KindAcquire, now, h.id, h.name, wait))
+	if t := m.loadTracer(); t != nil {
+		t.OnAcquire(m.event(trace.KindAcquire, now, h.id, h.name, wait))
 	}
+}
+
+// fold settles the open fast window: the wall-clock span since the window
+// opened is charged to the slice owner as deferred usage, and the batched
+// fast-path acquisitions land in the stats. The window then restarts at
+// now. m.mu held.
+func (m *Mutex) fold(now time.Duration) {
+	if m.fastSince < 0 {
+		return
+	}
+	window := now - m.fastSince
+	if window < 0 {
+		window = 0
+	}
+	m.fastSince = now
+	ops := m.fastOps.Swap(0)
+	owner, ok := m.acct.SliceOwner()
+	if !ok || (ops == 0 && window == 0) {
+		return
+	}
+	m.acct.FoldSliceUsage(owner, window, now)
+	m.stats.fold(int64(owner), window, ops, now)
 }
 
 // await blocks until the waiter is granted. The queue head spins briefly
@@ -270,27 +509,57 @@ func (m *Mutex) promoteHead() {
 	m.armSliceEnd()
 }
 
+// syncWaitersBit reconciles the waiters bit with the queue. m.mu held.
+func (m *Mutex) syncWaitersBit() {
+	empty := m.next == nil && len(m.parked) == 0
+	m.mutate(func(w uint64) uint64 {
+		if empty {
+			return w &^ wordWaiters
+		}
+		return w | wordWaiters
+	})
+}
+
 // Unlock releases the mutex. If the lock slice has expired, ownership
 // transfers to the head waiter and the accounting engine may ban this
 // entity until others have had their proportional lock opportunity.
 func (h *Handle) Unlock() {
 	m := h.m
+	if m.fastUnlock(h) {
+		return
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.held {
+	if m.word.Load()&wordHeld == 0 {
 		panic("scl: Unlock of unlocked Mutex")
 	}
 	now := monotime()
-	rel := m.acct.OnRelease(h.id, now)
-	m.held = false
-	m.stats.onRelease(int64(h.id), now)
-	if m.tracer != nil {
-		m.tracer.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
+	fastAcquired := m.fastHeld
+	m.fold(now)
+	var rel core.Release
+	if fastAcquired {
+		// The acquisition went through the fast path, so its usage is in
+		// the fold above; run a zero-length release purely for the slice
+		// boundary decision (expiry, penalty).
+		m.fastHeld = false
+		m.acct.OnAcquire(h.id, now)
+		rel = m.acct.OnRelease(h.id, now)
+		if m.csStart > 0 {
+			rel.Hold = now - m.csStart
+			m.csStart = 0
+		}
+	} else {
+		rel = m.acct.OnRelease(h.id, now)
+		m.stats.onRelease(int64(h.id), now)
+	}
+	m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
+	if t := m.loadTracer(); t != nil {
+		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
 		if rel.SliceExpired {
-			m.tracer.OnSliceEnd(m.event(trace.KindSliceEnd, now, h.id, h.name, rel.SliceUse))
+			t.OnSliceEnd(m.event(trace.KindSliceEnd, now, h.id, h.name, rel.SliceUse))
 		}
 		if rel.Penalty > 0 {
-			m.tracer.OnBan(m.event(trace.KindBan, now, h.id, h.name, rel.Penalty))
+			t.OnBan(m.event(trace.KindBan, now, h.id, h.name, rel.Penalty))
 		}
 	}
 	if rel.Penalty > 0 {
@@ -305,14 +574,20 @@ func (h *Handle) Unlock() {
 		// slice — jumping the queue, since the slice is its entity's to
 		// use — instead of letting the lock idle through the releaser's
 		// non-critical section.
-		if owner, ok := m.acct.SliceOwner(); ok && !m.transfer {
+		if owner, ok := m.acct.SliceOwner(); ok && m.word.Load()&wordTransfer == 0 {
 			if w := m.takeClassWaiter(owner); w != nil {
-				m.transfer = true
+				m.fastSince = -1
+				m.mutate(func(x uint64) uint64 { return x | wordTransfer })
 				w.intra = true
 				m.handoff(w, now)
 				w.grant()
 				return
 			}
+		}
+		// The lock idles with a live slice: open a fast window for the
+		// owner and keep the slice-end timer armed.
+		if m.fastOK {
+			m.fastSince = now
 		}
 		m.armSliceEnd()
 		return
@@ -323,8 +598,8 @@ func (h *Handle) Unlock() {
 // handoff records an ownership grant to w. m.mu held.
 func (m *Mutex) handoff(w *waiter, now time.Duration) {
 	m.stats.onHandoff(int64(w.h.id))
-	if m.tracer != nil {
-		m.tracer.OnHandoff(m.event(trace.KindHandoff, now, w.h.id, w.h.name, 0))
+	if t := m.loadTracer(); t != nil {
+		t.OnHandoff(m.event(trace.KindHandoff, now, w.h.id, w.h.name, 0))
 	}
 }
 
@@ -347,25 +622,59 @@ func (m *Mutex) takeClassWaiter(owner core.ID) *waiter {
 // transferLocked hands the free, slice-expired lock to the head waiter or
 // clears the slice. m.mu held.
 func (m *Mutex) transferLocked(now time.Duration) {
-	if m.transfer {
+	if m.word.Load()&wordTransfer != 0 {
 		return
 	}
+	m.fold(now)
+	m.fastSince = -1
 	if m.next == nil {
 		m.acct.ClearSlice()
+		m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
 		return
 	}
-	m.transfer = true
+	m.mutate(func(w uint64) uint64 { return w | wordTransfer })
 	m.handoff(m.next, now)
 	m.next.grant()
 }
 
-// armSliceEnd schedules a transfer for a slice that expires while the
-// owner is outside the critical section, so waiters cannot stall behind
+// endIdleSliceLocked folds and clears an expired slice whose owner sits
+// outside the critical section with nobody queued. It stale-marks the
+// state word first, so a concurrent fast-path acquire either is shut out
+// or already holds the lock — the latter reported by a false return (that
+// holder's release runs the boundary instead). m.mu held.
+func (m *Mutex) endIdleSliceLocked(now time.Duration) bool {
+	owner, ok := m.acct.SliceOwner()
+	if !ok {
+		return true
+	}
+	if m.fastOK {
+		if w := m.mutate(func(x uint64) uint64 { return x | wordStale }); w&wordHeld != 0 {
+			m.fold(now)
+			return false
+		}
+	}
+	m.fold(now)
+	m.fastSince = -1
+	if t := m.loadTracer(); t != nil {
+		// No release will report this slice end; the boundary does.
+		t.OnSliceEnd(m.event(trace.KindSliceEnd, now, owner, "", 0))
+	}
+	m.acct.ClearSlice()
+	m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
+	return true
+}
+
+// armSliceEnd schedules the slice-end timer. With the fast path enabled
+// the timer is armed for every slice (it bounds the owner's lock-free
+// regime); on a k-SCL it is armed only while waiters could stall behind
 // an owner that stopped acquiring. One reusable timer, armed at most once
 // per slice end. m.mu held.
 func (m *Mutex) armSliceEnd() {
 	_, ok := m.acct.SliceOwner()
-	if !ok || m.next == nil || m.held || m.transfer {
+	if !ok || m.word.Load()&wordTransfer != 0 {
+		return
+	}
+	if !m.fastOK && m.next == nil {
 		return
 	}
 	end := m.acct.SliceEnd()
@@ -384,34 +693,60 @@ func (m *Mutex) armSliceEnd() {
 	m.timer.Reset(delay)
 }
 
-// onSliceTimer transfers ownership when a slice end passes while the lock
-// is free and waiters queue. The state checks make a stale firing a no-op.
+// onSliceTimer runs the slice boundary when the slice end passes outside
+// a slow-path operation: it stale-marks a fast-path owner (whose next
+// operation then takes the slow path), transfers a free lock to waiters,
+// or clears an abandoned slice. Stale firings are no-ops.
 func (m *Mutex) onSliceTimer() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.timerAt = -1 // consumed; the next armSliceEnd must re-arm
-	if m.held || m.transfer || m.next == nil {
-		return
-	}
 	now := monotime()
 	owner, ok := m.acct.SliceOwner()
-	if !ok || !m.acct.SliceExpired(now) {
+	if !ok {
 		return
 	}
-	if m.tracer != nil {
+	if !m.acct.SliceExpired(now) {
+		m.armSliceEnd() // the slice was restarted; track the new end
+		return
+	}
+	w := m.word.Load()
+	if w&wordTransfer != 0 {
+		return
+	}
+	if m.fastOK {
+		// Shut the fast path out of the expired slice before looking at
+		// the held bit: after this mutate no fast acquire can land, so a
+		// held bit in the result is a holder whose release will run the
+		// boundary — fold what has accumulated and leave it to that.
+		w = m.mutate(func(x uint64) uint64 { return x | wordStale })
+	}
+	if w&wordHeld != 0 {
+		m.fold(now)
+		return
+	}
+	if m.next == nil {
+		m.endIdleSliceLocked(now)
+		return
+	}
+	m.fold(now)
+	if t := m.loadTracer(); t != nil {
 		// The slice ran out while the owner sat outside the critical
 		// section; no release will report it, so the timer does.
-		m.tracer.OnSliceEnd(m.event(trace.KindSliceEnd, now, owner, "", 0))
+		t.OnSliceEnd(m.event(trace.KindSliceEnd, now, owner, "", 0))
 	}
 	m.transferLocked(now)
 }
 
 // Stats returns a snapshot of per-entity hold times and the lock's idle
-// time, for fairness reporting.
+// time, for fairness reporting. Pending fast-path accounting is folded in
+// first, so snapshots are exact up to any operation in flight.
 func (m *Mutex) Stats() StatsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.stats.snapshot(monotime())
+	now := monotime()
+	m.fold(now)
+	return m.stats.snapshot(now)
 }
 
 var _ sync.Locker = (*Handle)(nil)

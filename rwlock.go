@@ -2,6 +2,7 @@ package scl
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scl/internal/core"
@@ -18,15 +19,34 @@ import (
 //
 // There is no per-thread accounting (and hence no Handle): the class is
 // the schedulable entity, exactly as in the paper.
+//
+// # The in-slice fast path
+//
+// While a class is alone on the lock — readers during a read slice with no
+// writer queued, or a lone writer during a write slice — acquires and
+// releases are a single compare-and-swap on a packed 64-bit state word
+// {writer-active, phase, waiters, reader count}, without the internal
+// mutex. Usage integrals are kept exact by an atomic charge of the
+// interval since the previous operation under the state it observed. The
+// moment the opposite class arrives it queues under the mutex and raises
+// the waiters bit, shutting the fast path off; the slow path then credits
+// the slice-clock restarts the fast regime skipped (whole slices up to the
+// last fast operation) so the incumbent class keeps at most the remainder
+// of one slice, exactly as if every operation had refreshed the clock.
+// Installing a Tracer disables the fast path — traced operations take the
+// slow path so the event stream is identical with and without tracing.
 type RWLock struct {
 	mu   sync.Mutex
 	ctrl *core.RWController
 
 	name   string
-	tracer Tracer
+	tracer atomic.Pointer[Tracer]
 
-	readers      int
-	writerActive bool
+	// word packs {writer-active, phase-write, waiters, reader count}; it is
+	// the single source of truth for holder state. The fast path CASes it
+	// without mu; slow paths mutate it under mu with CAS loops that
+	// tolerate concurrent fast-path CASes.
+	word atomic.Uint64
 
 	waitR []rwWaiter
 	waitW []rwWaiter
@@ -38,21 +58,34 @@ type RWLock struct {
 	timerAt    time.Duration // absolute arm target; avoids redundant resets
 	phaseFresh bool          // no acquisition has landed yet in this slice
 
-	// usage integrals: Σ individual holds = ∫ holders(t) dt per class.
-	lastChange time.Duration
-	readerHold time.Duration
-	writerHold time.Duration
-	readerOps  int64
-	writerOps  int64
-	idleTotal  time.Duration
+	// Usage integrals, Σ individual holds = ∫ holders(t) dt per class:
+	// every operation charges the interval since the previous one (lastAt)
+	// under the holder state it observed. All atomic — the fast path
+	// charges without mu.
+	lastAt     atomic.Int64
+	lastFast   atomic.Int64 // most recent fast-path op; drives slice-clock credit
+	readerHold atomic.Int64
+	writerHold atomic.Int64
+	readerOps  atomic.Int64
+	writerOps  atomic.Int64
+	idleTotal  atomic.Int64
 	createdAt  time.Duration
 
-	// tracing state: start of the current reader busy interval / writer
-	// hold / slice phase, for event details.
+	// tracing state (slow path only — tracing disables the fast path):
+	// start of the current reader busy interval / writer hold / slice
+	// phase, for event details. l.mu held.
 	rStart     time.Duration
 	wStart     time.Duration
 	phaseStart time.Duration
 }
+
+// State-word layout. The low bits count active readers.
+const (
+	rwWActive    = 1 << 63 // a writer holds the lock
+	rwPhaseWrite = 1 << 62 // the write slice is active (mirror of ctrl.Phase)
+	rwWaiters    = 1 << 61 // a wait queue is non-empty; fast path stands down
+	rwCount      = 1<<61 - 1
+)
 
 // rwWaiter is one queued RLock or WLock call.
 type rwWaiter struct {
@@ -65,16 +98,17 @@ type rwWaiter struct {
 // weight proportion).
 func NewRWLock(readWeight, writeWeight int64, period time.Duration) *RWLock {
 	now := monotime()
-	return &RWLock{
+	l := &RWLock{
 		ctrl: core.NewRWController(core.RWParams{
 			Period:      period,
 			ReadWeight:  readWeight,
 			WriteWeight: writeWeight,
 		}),
-		lastChange: now,
 		createdAt:  now,
 		phaseStart: now,
 	}
+	l.lastAt.Store(int64(now))
+	return l
 }
 
 // SetName labels the lock in trace events and metrics export.
@@ -98,11 +132,27 @@ func (l *RWLock) Name() string {
 // Release events carry the writer's hold, or for readers the length of
 // the just-ended busy interval (the union of overlapping reads) when the
 // last reader leaves; slice-end events fire at phase switches with the
-// outgoing phase's length.
+// outgoing phase's length. While a Tracer is installed the in-slice fast
+// path is disabled, so every operation is traced.
 func (l *RWLock) SetTracer(t Tracer) {
 	l.mu.Lock()
-	l.tracer = t
+	now := monotime()
+	l.rStart = now
+	l.wStart = now
+	l.phaseStart = now
+	if t == nil {
+		l.tracer.Store(nil)
+	} else {
+		l.tracer.Store(&t)
+	}
 	l.mu.Unlock()
+}
+
+func (l *RWLock) loadTracer() Tracer {
+	if p := l.tracer.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // event assembles a trace.Event for this lock. l.mu held.
@@ -110,43 +160,131 @@ func (l *RWLock) event(kind trace.Kind, now time.Duration, entity int64, detail 
 	return trace.Event{At: now, Kind: kind, Lock: l.name, Entity: entity, Detail: detail}
 }
 
-// settle advances the usage integrals to now. l.mu held.
-func (l *RWLock) settle(now time.Duration) {
-	dt := now - l.lastChange
-	if dt > 0 {
-		l.readerHold += time.Duration(l.readers) * dt
-		if l.writerActive {
-			l.writerHold += dt
-		}
-		if l.readers == 0 && !l.writerActive {
-			l.idleTotal += dt
+// charge advances the usage integrals: the interval since the previous
+// operation is credited under the holder state w (the word observed by
+// this operation). Safe without mu — lastAt hands each interval to exactly
+// one charger.
+func (l *RWLock) charge(w uint64, now time.Duration) {
+	dt := now - time.Duration(l.lastAt.Swap(int64(now)))
+	if dt <= 0 {
+		return
+	}
+	if n := w & rwCount; n != 0 {
+		l.readerHold.Add(int64(n) * int64(dt))
+	}
+	if w&rwWActive != 0 {
+		l.writerHold.Add(int64(dt))
+	} else if w&rwCount == 0 {
+		l.idleTotal.Add(int64(dt))
+	}
+}
+
+// mutateWord applies f to the state word with a CAS loop that tolerates
+// concurrent fast-path CASes. l.mu held. Returns the installed word.
+func (l *RWLock) mutateWord(f func(uint64) uint64) uint64 {
+	for {
+		old := l.word.Load()
+		new := f(old)
+		if old == new || l.word.CompareAndSwap(old, new) {
+			return new
 		}
 	}
-	l.lastChange = now
+}
+
+// fastRLock is the read-slice fast path: one CAS bumping the reader count,
+// no mutex. Eligible only while the read slice is active with no writer
+// holding and nobody queued, and no tracer installed.
+func (l *RWLock) fastRLock(now time.Duration) bool {
+	for {
+		w := l.word.Load()
+		if w&(rwWActive|rwPhaseWrite|rwWaiters) != 0 || l.tracer.Load() != nil {
+			return false
+		}
+		if l.word.CompareAndSwap(w, w+1) {
+			l.charge(w, now)
+			l.lastFast.Store(int64(now))
+			l.readerOps.Add(1)
+			return true
+		}
+	}
+}
+
+// fastRUnlock mirrors fastRLock for release: allowed only while nobody is
+// queued (a queued writer needs the slow path's drain-and-grant).
+func (l *RWLock) fastRUnlock(now time.Duration) bool {
+	for {
+		w := l.word.Load()
+		if w&rwWaiters != 0 || w&rwCount == 0 || l.tracer.Load() != nil {
+			return false
+		}
+		if l.word.CompareAndSwap(w, w-1) {
+			l.charge(w, now)
+			l.lastFast.Store(int64(now))
+			return true
+		}
+	}
+}
+
+// fastWLock is the write-slice fast path for a lone writer: eligible only
+// when the word shows exactly "write slice, idle, nobody queued".
+func (l *RWLock) fastWLock(now time.Duration) bool {
+	for {
+		w := l.word.Load()
+		if w != rwPhaseWrite || l.tracer.Load() != nil {
+			return false
+		}
+		if l.word.CompareAndSwap(w, w|rwWActive) {
+			l.charge(w, now)
+			l.lastFast.Store(int64(now))
+			l.writerOps.Add(1)
+			return true
+		}
+	}
+}
+
+// fastWUnlock mirrors fastWLock for release.
+func (l *RWLock) fastWUnlock(now time.Duration) bool {
+	for {
+		w := l.word.Load()
+		if w != rwPhaseWrite|rwWActive || l.tracer.Load() != nil {
+			return false
+		}
+		if l.word.CompareAndSwap(w, rwPhaseWrite) {
+			l.charge(w, now)
+			l.lastFast.Store(int64(now))
+			return true
+		}
+	}
 }
 
 // RLock acquires the lock shared. During a write slice it blocks until
 // the read slice begins and the writer drains.
 func (l *RWLock) RLock() {
-	l.mu.Lock()
 	now := monotime()
+	if l.fastRLock(now) {
+		return
+	}
+	l.mu.Lock()
+	now = monotime()
 	l.advanceLocked(now)
-	if l.ctrl.Phase() == core.PhaseRead && !l.writerActive {
+	w := l.word.Load()
+	if l.ctrl.Phase() == core.PhaseRead && w&rwWActive == 0 {
 		l.classEntered(now)
-		l.settle(now)
-		if l.readers == 0 {
+		l.charge(w, now)
+		if w&rwCount == 0 {
 			l.rStart = now
 		}
-		l.readers++
-		l.readerOps++
-		if l.tracer != nil {
-			l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
+		l.mutateWord(func(x uint64) uint64 { return x + 1 })
+		l.readerOps.Add(1)
+		if t := l.loadTracer(); t != nil {
+			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
 		}
 		l.mu.Unlock()
 		return
 	}
 	ch := make(chan struct{}, 1)
 	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now})
+	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
 	l.mu.Unlock()
 	<-ch // granted: reader count already bumped by the granter
@@ -154,20 +292,25 @@ func (l *RWLock) RLock() {
 
 // RUnlock releases a shared hold.
 func (l *RWLock) RUnlock() {
-	l.mu.Lock()
 	now := monotime()
-	l.settle(now)
-	l.readers--
-	if l.readers < 0 {
+	if l.fastRUnlock(now) {
+		return
+	}
+	l.mu.Lock()
+	now = monotime()
+	w := l.word.Load()
+	if w&rwCount == 0 {
 		l.mu.Unlock()
 		panic("scl: RUnlock without RLock")
 	}
-	if l.tracer != nil {
+	l.charge(w, now)
+	w = l.mutateWord(func(x uint64) uint64 { return x - 1 })
+	if t := l.loadTracer(); t != nil {
 		var busy time.Duration
-		if l.readers == 0 {
+		if w&rwCount == 0 {
 			busy = now - l.rStart // the union of the overlapping reads
 		}
-		l.tracer.OnRelease(l.event(trace.KindRelease, now, trace.EntityReaders, busy))
+		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityReaders, busy))
 	}
 	l.advanceLocked(now)
 	l.mu.Unlock()
@@ -178,67 +321,111 @@ func (l *RWLock) RUnlock() {
 // within the write slice, so a second writer can use the slice while the
 // first runs non-critical code (paper Figure 12b).
 func (l *RWLock) WLock() {
-	l.mu.Lock()
 	now := monotime()
+	if l.fastWLock(now) {
+		return
+	}
+	l.mu.Lock()
+	now = monotime()
 	l.advanceLocked(now)
-	if l.ctrl.Phase() == core.PhaseWrite && !l.writerActive && l.readers == 0 {
+	w := l.word.Load()
+	if l.ctrl.Phase() == core.PhaseWrite && w&rwWActive == 0 && w&rwCount == 0 {
 		l.classEntered(now)
-		l.settle(now)
-		l.writerActive = true
-		l.writerOps++
+		l.charge(w, now)
+		l.mutateWord(func(x uint64) uint64 { return x | rwWActive })
+		l.writerOps.Add(1)
 		l.wStart = now
-		if l.tracer != nil {
-			l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, 0))
+		if t := l.loadTracer(); t != nil {
+			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, 0))
 		}
 		l.mu.Unlock()
 		return
 	}
 	ch := make(chan struct{}, 1)
 	l.waitW = append(l.waitW, rwWaiter{ch: ch, since: now})
+	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
 	l.mu.Unlock()
-	<-ch // granted: writerActive already set by the granter
+	<-ch // granted: writer-active already set by the granter
 }
 
 // WUnlock releases the exclusive hold.
 func (l *RWLock) WUnlock() {
-	l.mu.Lock()
 	now := monotime()
-	if !l.writerActive {
+	if l.fastWUnlock(now) {
+		return
+	}
+	l.mu.Lock()
+	now = monotime()
+	w := l.word.Load()
+	if w&rwWActive == 0 {
 		l.mu.Unlock()
 		panic("scl: WUnlock without WLock")
 	}
-	l.settle(now)
-	l.writerActive = false
-	if l.tracer != nil {
-		l.tracer.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
+	l.charge(w, now)
+	l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
+	if t := l.loadTracer(); t != nil {
+		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
 	}
 	l.advanceLocked(now)
 	l.mu.Unlock()
 }
 
+// creditFastActivity replays the slice-clock restarts that fast-path
+// operations skipped. On the slow path an operation finding its own
+// class's slice expired with nobody opposite restarts the clock
+// (RWController.MaybeSwitch); fast operations — which by construction run
+// only while nobody is queued — never touch the controller, so before any
+// phase decision the clock is advanced by whole slices up to the most
+// recent fast operation. The incumbent class then keeps at most the
+// remainder of one slice, the same protection the slow path gives, and no
+// more: slow-path activity under contention earns no credit, exactly as
+// MaybeSwitch refuses a restart while the other class wants the lock.
+// l.mu held.
+func (l *RWLock) creditFastActivity() {
+	sl := l.ctrl.SliceLen(l.ctrl.Phase())
+	if sl <= 0 {
+		return
+	}
+	end := l.ctrl.PhaseEnd()
+	last := time.Duration(l.lastFast.Load())
+	if last < end {
+		return
+	}
+	n := (last-end)/sl + 1
+	l.ctrl.RestartPhase(end - sl + n*sl)
+}
+
 // advanceLocked updates the slice phase and grants eligible waiters.
 // l.mu held.
 func (l *RWLock) advanceLocked(now time.Duration) {
+	l.creditFastActivity()
+	w := l.word.Load()
 	var curWants, otherWants bool
 	if l.ctrl.Phase() == core.PhaseRead {
-		curWants = l.readers > 0 || len(l.waitR) > 0
-		otherWants = len(l.waitW) > 0 || l.writerActive
+		curWants = w&rwCount != 0 || len(l.waitR) > 0
+		otherWants = len(l.waitW) > 0 || w&rwWActive != 0
 	} else {
-		curWants = l.writerActive || len(l.waitW) > 0
-		otherWants = len(l.waitR) > 0 || l.readers > 0
+		curWants = w&rwWActive != 0 || len(l.waitW) > 0
+		otherWants = len(l.waitR) > 0 || w&rwCount != 0
 	}
 	before := l.ctrl.Phase()
 	if l.ctrl.MaybeSwitch(now, curWants, otherWants) != before {
 		l.phaseFresh = true
-		if l.tracer != nil {
+		if t := l.loadTracer(); t != nil {
 			out := trace.EntityReaders
 			if before == core.PhaseWrite {
 				out = trace.EntityWriters
 			}
-			l.tracer.OnSliceEnd(l.event(trace.KindSliceEnd, now, out, now-l.phaseStart))
+			t.OnSliceEnd(l.event(trace.KindSliceEnd, now, out, now-l.phaseStart))
 		}
 		l.phaseStart = now
+		l.mutateWord(func(x uint64) uint64 {
+			if l.ctrl.Phase() == core.PhaseWrite {
+				return x | rwPhaseWrite
+			}
+			return x &^ rwPhaseWrite
+		})
 	}
 	l.grantLocked(now)
 	l.armPhaseTimer()
@@ -254,44 +441,59 @@ func (l *RWLock) classEntered(now time.Duration) {
 	}
 }
 
-// grantLocked admits waiters permitted by the current phase. l.mu held.
+// grantLocked admits waiters permitted by the current phase, then
+// reconciles the waiters bit. l.mu held.
 func (l *RWLock) grantLocked(now time.Duration) {
+	defer l.syncWaitersBit()
+	w := l.word.Load()
 	if l.ctrl.Phase() == core.PhaseRead {
-		if l.writerActive || len(l.waitR) == 0 {
+		if w&rwWActive != 0 || len(l.waitR) == 0 {
 			return
 		}
 		l.classEntered(now)
-		l.settle(now)
-		if l.readers == 0 {
+		l.charge(w, now)
+		if w&rwCount == 0 {
 			l.rStart = now
 		}
-		for _, w := range l.waitR {
-			l.readers++
-			l.readerOps++
-			if l.tracer != nil {
-				l.tracer.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityReaders, 0))
-				l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, now-w.since))
+		t := l.loadTracer()
+		for _, wt := range l.waitR {
+			l.mutateWord(func(x uint64) uint64 { return x + 1 })
+			l.readerOps.Add(1)
+			if t != nil {
+				t.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityReaders, 0))
+				t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, now-wt.since))
 			}
-			w.ch <- struct{}{}
+			wt.ch <- struct{}{}
 		}
 		l.waitR = l.waitR[:0]
 		return
 	}
-	if l.readers > 0 || l.writerActive || len(l.waitW) == 0 {
+	if w&rwCount != 0 || w&rwWActive != 0 || len(l.waitW) == 0 {
 		return
 	}
 	l.classEntered(now)
-	l.settle(now)
-	w := l.waitW[0]
+	l.charge(w, now)
+	wt := l.waitW[0]
 	l.waitW = l.waitW[1:]
-	l.writerActive = true
-	l.writerOps++
+	l.mutateWord(func(x uint64) uint64 { return x | rwWActive })
+	l.writerOps.Add(1)
 	l.wStart = now
-	if l.tracer != nil {
-		l.tracer.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityWriters, 0))
-		l.tracer.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, now-w.since))
+	if t := l.loadTracer(); t != nil {
+		t.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityWriters, 0))
+		t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, now-wt.since))
 	}
-	w.ch <- struct{}{}
+	wt.ch <- struct{}{}
+}
+
+// syncWaitersBit reconciles the waiters bit with the queues. l.mu held.
+func (l *RWLock) syncWaitersBit() {
+	empty := len(l.waitR) == 0 && len(l.waitW) == 0
+	l.mutateWord(func(x uint64) uint64 {
+		if empty {
+			return x &^ rwWaiters
+		}
+		return x | rwWaiters
+	})
 }
 
 // armPhaseTimer schedules a phase re-evaluation at the current slice's end
@@ -352,13 +554,13 @@ func (l *RWLock) Stats() RWStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := monotime()
-	l.settle(now)
+	l.charge(l.word.Load(), now)
 	return RWStats{
-		ReaderHold: l.readerHold,
-		WriterHold: l.writerHold,
-		ReaderOps:  l.readerOps,
-		WriterOps:  l.writerOps,
-		Idle:       l.idleTotal,
+		ReaderHold: time.Duration(l.readerHold.Load()),
+		WriterHold: time.Duration(l.writerHold.Load()),
+		ReaderOps:  l.readerOps.Load(),
+		WriterOps:  l.writerOps.Load(),
+		Idle:       time.Duration(l.idleTotal.Load()),
 		Elapsed:    now - l.createdAt,
 	}
 }

@@ -70,7 +70,10 @@ func (e *entityStats) settle(now time.Duration) {
 }
 
 func (s *lockStats) onAcquire(id int64, name string, now time.Duration, wait time.Duration) {
-	if s.holders == 0 {
+	if s.holders == 0 && now > s.idleStart {
+		// The clamp matters with the atomic fast path: a fold may have
+		// advanced idleStart past the (earlier) start of an in-flight
+		// fast-path hold being back-filled here.
 		s.idle += now - s.idleStart
 	}
 	s.holders++
@@ -102,6 +105,34 @@ func (s *lockStats) onRelease(id int64, now time.Duration) {
 			// of one entity it is the union interval.
 			e.holds.Add(now - e.opStart)
 		}
+	}
+}
+
+// fold lands a batch of fast-path operations for one entity: ops
+// acquisitions whose holds sum (as a wall-clock window) to window, all
+// completed since the last fold while the lock-level holder count was
+// zero. Totals (hold, acquisitions, idle) are exact; the hold/wait
+// distributions receive the batch as uniform samples (mean hold, zero
+// wait), since the fast path records no per-operation timestamps.
+func (s *lockStats) fold(id int64, window time.Duration, ops int64, now time.Duration) {
+	if window <= 0 && ops == 0 {
+		return
+	}
+	e := s.entity(id)
+	e.settle(now)
+	e.acquisitions += ops
+	e.hold += window
+	if ops > 0 {
+		e.holds.AddN(window/time.Duration(ops), ops)
+		e.waits.AddN(0, ops)
+	}
+	if s.holders == 0 {
+		idle := now - s.idleStart - window
+		if idle < 0 {
+			idle = 0
+		}
+		s.idle += idle
+		s.idleStart = now
 	}
 }
 

@@ -1,0 +1,243 @@
+package scl
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scl/trace"
+)
+
+// stressDuration keeps the contended suites short enough for the race
+// gate while still crossing many slice boundaries (slices are 100µs–1ms
+// below).
+const stressDuration = 300 * time.Millisecond
+
+// TestMutexStressContended hammers one Mutex from N goroutines spread
+// over M entities (some sharing an entity through Sibling) and checks the
+// two invariants the fast path must not break: mutual exclusion (a
+// plainly-guarded counter stays consistent) and no lost wakeups (every
+// goroutine keeps making progress to the deadline; a dropped grant would
+// hang the test).
+func TestMutexStressContended(t *testing.T) {
+	m := NewMutex(Options{Slice: 100 * time.Microsecond})
+
+	const entities = 4
+	const perEntity = 2 // goroutines per entity (siblings)
+	var handles []*Handle
+	for e := 0; e < entities; e++ {
+		h := m.Register()
+		handles = append(handles, h)
+		for s := 1; s < perEntity; s++ {
+			handles = append(handles, h.Sibling())
+		}
+	}
+
+	var guarded int64 // mutated only inside the critical section, unsynchronized
+	var inCS atomic.Int32
+	var violations atomic.Int64
+	ops := make([]int64, len(handles))
+
+	deadline := time.Now().Add(stressDuration)
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				h.Lock()
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				guarded++
+				v := guarded
+				runtime.Gosched() // widen the window for exclusion violations
+				if guarded != v {
+					violations.Add(1)
+				}
+				inCS.Add(-1)
+				h.Unlock()
+				ops[i]++
+			}
+		}(i, h)
+	}
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d mutual-exclusion violations", n)
+	}
+	var total int64
+	for i, n := range ops {
+		if n == 0 {
+			t.Errorf("goroutine %d made no progress (lost wakeup?)", i)
+		}
+		total += n
+	}
+	if guarded != total {
+		t.Fatalf("guarded counter = %d, want %d (lost increments)", guarded, total)
+	}
+	s := m.Stats()
+	var acq int64
+	for _, id := range s.IDs() {
+		acq += s.Acquisitions[id]
+	}
+	if acq != total {
+		t.Fatalf("stats count %d acquisitions, observed %d", acq, total)
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+}
+
+// TestMutexStressProportionalShare saturates a Mutex with equal-weight
+// entities that each hog their critical sections, and checks every entity
+// receives lock opportunity within 2× of its proportional share — the
+// paper's core guarantee, which the deferred fast-path accounting must
+// preserve.
+func TestMutexStressProportionalShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive stress")
+	}
+	m := NewMutex(Options{Slice: time.Millisecond})
+	const entities = 3
+	var handles []*Handle
+	for e := 0; e < entities; e++ {
+		handles = append(handles, m.Register())
+	}
+	deadline := time.Now().Add(2 * stressDuration)
+	var wg sync.WaitGroup
+	for _, h := range handles {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				h.Lock()
+				spinFor(50 * time.Microsecond) // a hog: CS ≈ half a slice
+				h.Unlock()
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	s := m.Stats()
+	share := 1.0 / entities
+	for _, h := range handles {
+		frac := float64(s.LOT(h.ID())) / float64(s.Elapsed)
+		if frac < share/2 || frac > 2*share {
+			t.Errorf("entity %d lock opportunity fraction %.3f, want within 2x of share %.3f",
+				h.ID(), frac, share)
+		}
+	}
+}
+
+// spinFor busy-waits without yielding the lock, modeling a CPU-bound
+// critical section (sleeping would make every hold look identical under
+// the scheduler's timer resolution).
+func spinFor(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// TestRWLockStressContended drives an RWLock with concurrent readers and
+// writers and checks reader/writer exclusion: a writer must never observe
+// another writer or any reader inside the lock, and readers must never
+// observe an active writer.
+func TestRWLockStressContended(t *testing.T) {
+	l := NewRWLock(9, 1, 200*time.Microsecond)
+
+	var readers atomic.Int32
+	var writers atomic.Int32
+	var violations atomic.Int64
+	var guarded int64 // written only by writers, under the write lock
+
+	deadline := time.Now().Add(stressDuration)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				l.RLock()
+				readers.Add(1)
+				if writers.Load() != 0 {
+					violations.Add(1)
+				}
+				_ = guarded
+				readers.Add(-1)
+				l.RUnlock()
+			}
+		}()
+	}
+	var wrote int64
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				l.WLock()
+				if writers.Add(1) != 1 || readers.Load() != 0 {
+					violations.Add(1)
+				}
+				guarded++
+				atomic.AddInt64(&wrote, 1)
+				writers.Add(-1)
+				l.WUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d rw exclusion violations", n)
+	}
+	if guarded != wrote {
+		t.Fatalf("guarded counter = %d, want %d", guarded, wrote)
+	}
+	s := l.Stats()
+	if s.ReaderOps == 0 || s.WriterOps == 0 {
+		t.Fatalf("starved class: %d reader / %d writer ops", s.ReaderOps, s.WriterOps)
+	}
+}
+
+// TestMutexTracerSwapDuringStress swaps tracers in and out while
+// goroutines hammer the lock through the fast path; under -race this
+// pins down the SetTracer data race the atomic tracer pointer fixes, and
+// the recording tracer's event stream must stay well-formed (no acquire
+// after acquire for the same exclusive lock).
+func TestMutexTracerSwapDuringStress(t *testing.T) {
+	m := NewMutex(Options{Slice: 100 * time.Microsecond})
+	a := m.Register()
+	b := m.Register()
+
+	deadline := time.Now().Add(stressDuration)
+	var wg sync.WaitGroup
+	for _, h := range []*Handle{a, b} {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				h.Lock()
+				h.Unlock()
+			}
+		}(h)
+	}
+
+	rec := &recTracer{}
+	ring := trace.NewRing(1 << 10)
+	for time.Now().Before(deadline) {
+		m.SetTracer(rec)
+		time.Sleep(time.Millisecond)
+		m.SetTracer(ring)
+		time.Sleep(time.Millisecond)
+		m.SetTracer(nil)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+
+	if len(rec.events()) == 0 {
+		t.Fatal("recording tracer saw no events while installed")
+	}
+}

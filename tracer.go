@@ -13,9 +13,12 @@ import (
 // Options.Tracer (Mutex) or RWLock.SetTracer; a nil Tracer costs the
 // locks only a nil check per operation.
 //
-// Hooks are invoked synchronously with the lock's internal mutex held:
-// implementations must be fast, must not block, and must not call back
-// into the lock. trace.Ring is the built-in implementation — a lock-free
+// Hooks are invoked synchronously from lock operations. Slow-path events
+// fire with the lock's internal mutex held; fast-path events (the slice
+// owner's lock-free acquire/release) fire without it, so hooks from
+// distinct handles may run concurrently — implementations must be
+// concurrency-safe, fast, must not block, and must not call back into
+// the lock. trace.Ring is the built-in implementation — a lock-free
 // bounded flight recorder safe to leave enabled in production.
 type Tracer interface {
 	// OnAcquire fires when an entity acquires the lock. Detail is the
@@ -37,7 +40,7 @@ type Tracer interface {
 	OnHandoff(trace.Event)
 }
 
-// event assembles a trace.Event for this lock. m.mu held.
+// event assembles a trace.Event for this lock.
 func (m *Mutex) event(kind trace.Kind, now time.Duration, id core.ID, name string, detail time.Duration) trace.Event {
 	return trace.Event{
 		At:     now,
