@@ -553,6 +553,9 @@ func (h *Handle) Unlock() {
 		m.stats.onRelease(int64(h.id), now)
 	}
 	m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
+	for i := 0; i < 50; i++ {
+		runtime.Gosched() // REVIEW ONLY: widen the held-clear→transfer-set window
+	}
 	if t := m.loadTracer(); t != nil {
 		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
 		if rel.SliceExpired {
@@ -577,7 +580,9 @@ func (h *Handle) Unlock() {
 		if owner, ok := m.acct.SliceOwner(); ok && m.word.Load()&wordTransfer == 0 {
 			if w := m.takeClassWaiter(owner); w != nil {
 				m.fastSince = -1
-				m.mutate(func(x uint64) uint64 { return x | wordTransfer })
+				if w2 := m.mutate(func(x uint64) uint64 { return x | wordTransfer }); w2&wordHeld != 0 {
+					panic("REVIEW: intra transfer set while a fast-path holder is active")
+				}
 				w.intra = true
 				m.handoff(w, now)
 				w.grant()
@@ -632,7 +637,9 @@ func (m *Mutex) transferLocked(now time.Duration) {
 		m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
 		return
 	}
-	m.mutate(func(w uint64) uint64 { return w | wordTransfer })
+	if w2 := m.mutate(func(w uint64) uint64 { return w | wordTransfer }); w2&wordHeld != 0 {
+		panic("REVIEW: slice transfer set while a fast-path holder is active")
+	}
 	m.handoff(m.next, now)
 	m.next.grant()
 }

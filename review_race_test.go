@@ -1,0 +1,59 @@
+package scl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Throwaway review test: two sibling handles of one entity plus a foreign
+// entity hammer the lock with a tiny slice. If mutual exclusion ever
+// breaks (two concurrent holders), the guarded counter detects it.
+func TestReviewMutualExclusion(t *testing.T) {
+	m := NewMutex(Options{Slice: 50 * time.Microsecond})
+	hA := m.Register()
+	hA2 := hA.Sibling()
+	hA3 := hA.Sibling()
+	hB := m.Register()
+
+	var inCS atomic.Int32
+	var violations atomic.Int32
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	work := func(h *Handle) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Lock()
+			if inCS.Add(1) != 1 {
+				violations.Add(1)
+			}
+			for i := 0; i < 200; i++ {
+				if inCS.Load() != 1 {
+					violations.Add(1)
+					break
+				}
+			}
+			inCS.Add(-1)
+			h.Unlock()
+		}
+	}
+	wg.Add(4)
+	go work(hA)
+	go work(hA2)
+	go work(hA3)
+	go work(hB)
+
+	time.Sleep(3 * time.Second)
+	close(stop)
+	wg.Wait()
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("mutual exclusion violated %d times", n)
+	}
+}
