@@ -1,11 +1,13 @@
-# Tier-1 gate: everything must build, vet clean, and pass tests with the
-# race detector on. CI and pre-commit both run `make check`.
+# Tier-1 gate: everything must build, vet clean, pass tests with the race
+# detector on (including the scldebug invariant-checked build of the lock
+# package), and carry no review scaffolding in production code. CI and
+# pre-commit both run `make check`.
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-all
+.PHONY: check build vet test race race-debug review-gate bench bench-all
 
-check: build vet race
+check: build vet race race-debug review-gate
 
 build:
 	$(GO) build ./...
@@ -18,6 +20,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The lock package once more with the scldebug build tag: the internal
+# invariant assertions (debugChecks in mutex.go) compile to live panics
+# instead of no-ops, so the race suite also proves the invariants hold.
+race-debug:
+	$(GO) test -race -tags scldebug .
+
+# Review scaffolding (REVIEW-marked probes, temporary assertions) may live
+# in test files only; fail the gate if any marker leaks into production
+# code, as the PR 2 Gosched loop in Unlock once did.
+review-gate:
+	@! grep -rn --include='*.go' --exclude='*_test.go' 'REVIEW' . \
+		|| { echo 'review-gate: REVIEW marker in non-test Go file'; exit 1; }
 
 # Not part of the gate: the real-lock benchmarks (fast path, contention,
 # sync-primitive baselines). Each run is appended to BENCH_scl.json by

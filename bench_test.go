@@ -339,6 +339,22 @@ func BenchmarkSyncMutexReacquire(b *testing.B) {
 	}
 }
 
+// BenchmarkMutexSlowRelease measures the slow-path release in isolation:
+// a k-SCL (zero slice) disables the fast path, so every Unlock runs the
+// full boundary — fold, accounting release, penalty decision — under the
+// internal mutex. This is the path the PR 2 review scaffolding (a 50×
+// Gosched loop inside Unlock) serialized; the benchmark pins its cost.
+func BenchmarkMutexSlowRelease(b *testing.B) {
+	m := scl.NewMutex(scl.Options{Slice: -1})
+	h := m.Register()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
 // BenchmarkMutexPingPong measures cross-entity ownership transfer on a
 // k-SCL (zero slice: every release is a slice boundary), the slow path the
 // fast path must not regress.

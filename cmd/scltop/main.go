@@ -182,7 +182,7 @@ func renderLock(l export.LockSnapshot, prev *export.LockSnapshot, window time.Du
 		totalLOT += e.LOT
 	}
 	t := metrics.NewTable("lock "+l.Name,
-		"entity", "acq", "acq/s", "hold", "hold%", "LOT", "LOT%", "bans", "ban time", "wait p99µs")
+		"entity", "acq", "acq/s", "hold", "hold%", "LOT", "LOT%", "bans", "ban time", "cancels", "wait p99µs")
 	for _, e := range l.Entities {
 		var acqRate, holdPct float64
 		if p := prevEntity(prev, e.ID); p != nil && window > 0 {
@@ -201,7 +201,7 @@ func renderLock(l export.LockSnapshot, prev *export.LockSnapshot, window time.Du
 			e.Hold.Round(time.Millisecond).String(), holdPct,
 			e.LOT.Round(time.Millisecond).String(), lotPct,
 			e.Bans, e.BanTime.Round(time.Millisecond).String(),
-			metrics.Micros(e.WaitP99))
+			e.Cancels, metrics.Micros(e.WaitP99))
 	}
 	idlePct := 0.0
 	if l.Elapsed > 0 {
@@ -224,14 +224,14 @@ func prevEntity(prev *export.LockSnapshot, id int64) *export.EntitySnapshot {
 }
 
 func renderRW(l export.RWLockSnapshot) string {
-	t := metrics.NewTable("rwlock "+l.Name, "class", "acq", "hold", "hold%")
+	t := metrics.NewTable("rwlock "+l.Name, "class", "acq", "hold", "hold%", "cancels")
 	pct := func(d time.Duration) float64 {
 		if l.Elapsed <= 0 {
 			return 0
 		}
 		return 100 * float64(d) / float64(l.Elapsed)
 	}
-	t.AddRow("read", l.ReaderOps, l.ReaderHold.Round(time.Millisecond).String(), pct(l.ReaderHold))
-	t.AddRow("write", l.WriterOps, l.WriterHold.Round(time.Millisecond).String(), pct(l.WriterHold))
+	t.AddRow("read", l.ReaderOps, l.ReaderHold.Round(time.Millisecond).String(), pct(l.ReaderHold), l.ReaderCancels)
+	t.AddRow("write", l.WriterOps, l.WriterHold.Round(time.Millisecond).String(), pct(l.WriterHold), l.WriterCancels)
 	return t.String() + fmt.Sprintf("idle %.1f%%\n\n", pct(l.Idle))
 }

@@ -46,6 +46,33 @@
 // Tracing is strictly opt-in: with a nil Tracer the only cost on the lock
 // paths is a nil check.
 //
+// # Cancellation
+//
+// Lock, RLock and WLock block until the lock is acquired, however long the
+// current slice owner or a pending penalty makes that. Handle.LockContext,
+// RWLock.RLockContext and RWLock.WLockContext bound the wait with a
+// context: when ctx is cancelled the call returns ctx.Err() and the lock
+// is NOT held. The guarantees:
+//
+//   - An already-cancelled ctx returns immediately, even when the lock is
+//     free — the acquisition is never attempted.
+//   - Cancellation interrupts both waiting phases: the ban sleep (the
+//     paper's penalty, imposed at acquire) and the waiter queue.
+//   - An abandoning waiter detaches cleanly. Its queue slot is removed; if
+//     an ownership grant raced with the cancellation, the grant is
+//     re-routed to the next eligible waiter rather than lost, so the lock
+//     keeps making progress.
+//   - Abandonment leaves the accounting books exactly as if the entity had
+//     never queued: no usage is charged, no ban is drawn, slice ownership
+//     and join credit are untouched. Bans the entity already owed remain
+//     owed — walking away from the wait does not pay down the penalty.
+//
+// Every abandonment is observable: it increments the per-entity Cancels
+// counter in StatsSnapshot (per-class ReaderCancels/WriterCancels in
+// RWStats), emits a trace.KindAbandon event to the Tracer, and is exported
+// by scl/export as scl_entity_cancels_total / scl_rwlock_cancels_total.
+// See examples/deadline for per-request lock deadlines.
+//
 // # The slice-owner fast path
 //
 // The point of a lock slice (paper §4.2, Figure 3) is that re-acquisition

@@ -1,0 +1,70 @@
+// Per-request lock deadlines with LockContext: a request-serving goroutine
+// bounds how long it will wait for a contended scl.Mutex instead of
+// blocking indefinitely behind a slice owner or a penalty.
+//
+// A "hog" entity monopolizes the lock with long critical sections; "serve"
+// handles requests that each carry a context.WithTimeout deadline. When the
+// wait exceeds the request budget, LockContext returns ctx.Err(), the lock
+// is NOT held, and the request fails fast (degraded reply, retry, shed) —
+// while the lock's accounting shows the abandon in the Cancels counter.
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"scl"
+)
+
+func main() {
+	m := scl.NewMutex(scl.Options{Slice: 5 * time.Millisecond})
+	hog := m.Register().SetName("hog")
+	serve := m.Register().SetName("serve")
+
+	stop := time.Now().Add(time.Second)
+	var wg sync.WaitGroup
+
+	// The hog holds the lock in long bursts: some requests will meet their
+	// deadline mid-slice or during the hog's penalty and must give up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(stop) {
+			hog.Lock()
+			time.Sleep(8 * time.Millisecond)
+			hog.Unlock()
+		}
+	}()
+
+	var served, shed int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(stop) {
+			// Each request will wait at most 3ms for the lock.
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+			err := serve.LockContext(ctx)
+			if err != nil {
+				cancel()
+				shed++ // deadline hit: not holding the lock, fail fast
+				continue
+			}
+			time.Sleep(500 * time.Microsecond) // the critical section
+			serve.Unlock()
+			cancel()
+			served++
+		}
+	}()
+	wg.Wait()
+
+	s := m.Stats()
+	fmt.Printf("served %d requests, shed %d on deadline\n", served, shed)
+	fmt.Printf("stats: serve acquired %d times, abandoned %d waits\n",
+		s.Acquisitions[serve.ID()], s.Cancels[serve.ID()])
+	fmt.Printf("hog   held %v, serve held %v — opportunity stays fair (Jain %.3f)\n",
+		s.Hold[hog.ID()].Round(time.Millisecond),
+		s.Hold[serve.ID()].Round(time.Millisecond),
+		s.JainLOT(hog.ID(), serve.ID()))
+}

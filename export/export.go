@@ -110,6 +110,9 @@ type EntitySnapshot struct {
 	Bans     int64         `json:"bans"`
 	BanTime  time.Duration `json:"banTime"`
 	Handoffs int64         `json:"handoffs"`
+	// Cancels counts abandoned acquisitions: LockContext calls that
+	// returned ctx.Err() from the ban sleep or the waiter queue.
+	Cancels int64 `json:"cancels"`
 	// Per-operation hold and wait quantiles from reservoir samples.
 	HoldP50 time.Duration `json:"holdP50"`
 	HoldP99 time.Duration `json:"holdP99"`
@@ -126,6 +129,10 @@ type RWLockSnapshot struct {
 	WriterHold time.Duration `json:"writerHold"`
 	ReaderOps  int64         `json:"readerOps"`
 	WriterOps  int64         `json:"writerOps"`
+	// ReaderCancels and WriterCancels count abandoned acquisitions per
+	// class (RLockContext / WLockContext returning ctx.Err()).
+	ReaderCancels int64 `json:"readerCancels"`
+	WriterCancels int64 `json:"writerCancels"`
 }
 
 // RingSnapshot is one trace ring's volume accounting.
@@ -151,13 +158,15 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, l := range rwlocks {
 		s := l.src()
 		snap.RWLocks = append(snap.RWLocks, RWLockSnapshot{
-			Name:       l.name,
-			Elapsed:    s.Elapsed,
-			Idle:       s.Idle,
-			ReaderHold: s.ReaderHold,
-			WriterHold: s.WriterHold,
-			ReaderOps:  s.ReaderOps,
-			WriterOps:  s.WriterOps,
+			Name:          l.name,
+			Elapsed:       s.Elapsed,
+			Idle:          s.Idle,
+			ReaderHold:    s.ReaderHold,
+			WriterHold:    s.WriterHold,
+			ReaderOps:     s.ReaderOps,
+			WriterOps:     s.WriterOps,
+			ReaderCancels: s.ReaderCancels,
+			WriterCancels: s.WriterCancels,
 		})
 	}
 	for _, g := range rings {
@@ -196,6 +205,7 @@ func lockSnapshot(name string, s scl.StatsSnapshot) LockSnapshot {
 			Bans:         s.Bans[id],
 			BanTime:      s.BanTime[id],
 			Handoffs:     s.Handoffs[id],
+			Cancels:      s.Cancels[id],
 			HoldP50:      s.HoldDist[id].P50,
 			HoldP99:      s.HoldDist[id].P99,
 			WaitP50:      s.WaitDist[id].P50,

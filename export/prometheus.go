@@ -58,6 +58,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
 		ew.metric("scl_entity_handoffs_total", lb, float64(e.Handoffs))
 	})
+	ew.family("scl_entity_cancels_total", "counter", "Acquisitions the entity abandoned on context cancellation (LockContext returning ctx.Err()).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_cancels_total", lb, float64(e.Cancels))
+	})
 
 	ew.family("scl_entity_hold_seconds", "summary", "Per-operation critical-section length (reservoir sample).")
 	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
@@ -83,6 +87,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, l := range snap.RWLocks {
 			ew.metric("scl_rwlock_acquisitions_total", labels{"lock": l.Name, "class": "read"}, float64(l.ReaderOps))
 			ew.metric("scl_rwlock_acquisitions_total", labels{"lock": l.Name, "class": "write"}, float64(l.WriterOps))
+		}
+		ew.family("scl_rwlock_cancels_total", "counter", "Acquisitions abandoned on context cancellation per RW-SCL class.")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_cancels_total", labels{"lock": l.Name, "class": "read"}, float64(l.ReaderCancels))
+			ew.metric("scl_rwlock_cancels_total", labels{"lock": l.Name, "class": "write"}, float64(l.WriterCancels))
 		}
 		ew.family("scl_rwlock_idle_seconds_total", "counter", "Total time the RW lock was wholly unheld.")
 		for _, l := range snap.RWLocks {

@@ -411,3 +411,43 @@ func TestOnReleaseWithoutAcquireIsNoop(t *testing.T) {
 		t.Fatalf("phantom release produced %+v", rel)
 	}
 }
+
+// TestAbandonedWaiterLeavesNoTrace documents the invariant the lock's
+// cancellation path (LockContext abandoning a queued waiter) relies on:
+// queueing touches the accountant only at acquire, so an entity that
+// registers, never acquires, and unregisters leaves the books — entity
+// count, grand usage, slice state — exactly as if it had never appeared,
+// even while other entities run slices around it.
+func TestAbandonedWaiterLeavesNoTrace(t *testing.T) {
+	a := NewAccountant(Params{Slice: 2 * time.Millisecond, JoinCredit: time.Hour})
+	a.Register(1, ReferenceWeight, 0)
+	baseLen := a.Len()
+	baseGrand := a.GrandUsage()
+
+	// Entity 2 "queues" (registers) but abandons before ever acquiring,
+	// while entity 1 runs a full slice with usage charged.
+	a.Register(2, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	rel := a.OnRelease(1, 5*time.Millisecond)
+	if rel.Hold != 5*time.Millisecond {
+		t.Fatalf("hold = %v, want 5ms", rel.Hold)
+	}
+	if got := a.Usage(2); got != 0 {
+		t.Fatalf("abandoned entity charged %v without acquiring", got)
+	}
+	if a.BannedUntil(2) != 0 {
+		t.Fatal("abandoned entity banned without acquiring")
+	}
+
+	a.Unregister(2)
+	if got := a.Len(); got != baseLen {
+		t.Fatalf("Len = %d after abandon+unregister, want baseline %d", got, baseLen)
+	}
+	if got := a.GrandUsage() - a.Usage(1); got != baseGrand {
+		t.Fatalf("grand usage beyond entity 1 = %v, want baseline %v", got, baseGrand)
+	}
+	if a.Registered(2) {
+		t.Fatal("unregistered entity still tracked")
+	}
+}

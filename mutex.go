@@ -1,6 +1,7 @@
 package scl
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -280,6 +281,37 @@ func (h *Handle) Lock() {
 	if m.fastLock(h) {
 		return
 	}
+	m.lockSlow(h, nil)
+}
+
+// LockContext acquires the mutex like Lock, but gives up when ctx is
+// cancelled: it returns ctx.Err() and the lock is NOT held. Cancellation
+// interrupts both phases of a blocked acquire — the ban sleep (the paper's
+// penalty imposed at acquire) and the waiter queue. An abandoning waiter
+// detaches cleanly: its queue slot is removed, an ownership grant that
+// raced with the cancellation is re-routed to the next eligible waiter
+// rather than lost, and the accounting books end up exactly as if the
+// entity had never queued (no usage is charged, bans and slice ownership
+// are untouched). A ctx that is already cancelled returns without
+// blocking, even when the lock is free.
+func (h *Handle) LockContext(ctx context.Context) error {
+	m := h.m
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if m.fastLock(h) {
+		return nil
+	}
+	return m.lockSlow(h, ctx)
+}
+
+// lockSlow is the shared slow path of Lock (ctx == nil: uncancellable)
+// and LockContext.
+func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	reqAt := time.Duration(-1) // first clock read inside the loop
 	for {
 		m.mu.Lock()
@@ -292,7 +324,20 @@ func (h *Handle) Lock() {
 			break // proceed, still holding m.mu
 		}
 		m.mu.Unlock()
-		time.Sleep(until - now)
+		if done == nil {
+			time.Sleep(until - now)
+			continue
+		}
+		// A cancellable acquire must be able to walk away mid-penalty:
+		// the ban only makes an uncancellable wait longer.
+		t := time.NewTimer(until - now)
+		select {
+		case <-t.C:
+		case <-done:
+			t.Stop()
+			m.noteAbandon(h, reqAt)
+			return ctx.Err()
+		}
 	}
 	// Uncontended path: we own the live slice, or the lock is wholly
 	// free. setHeldLocked can lose only to a fast-path sibling; then we
@@ -301,7 +346,7 @@ func (h *Handle) Lock() {
 	if m.word.Load()&(wordHeld|wordTransfer) == 0 && m.fastEligible(h, now) && m.setHeldLocked() {
 		m.acquireLocked(h, now, reqAt)
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	// Slow path: queue.
 	w := &waiter{h: h, wake: make(chan struct{}, 1)}
@@ -316,7 +361,10 @@ func (h *Handle) Lock() {
 		m.armSliceEnd()
 	}
 	m.mu.Unlock()
-	w.await(head)
+	if !w.await(done, head) {
+		m.abandon(w, reqAt)
+		return ctx.Err()
+	}
 	// Granted: finalize ownership.
 	m.mu.Lock()
 	now = monotime()
@@ -336,6 +384,97 @@ func (h *Handle) Lock() {
 	m.armSliceEnd() // the transfer bit suppressed arming in startSlice
 	m.acquireLocked(h, now, reqAt)
 	m.mu.Unlock()
+	return nil
+}
+
+// abandon resolves a cancelled waiter under m.mu. A grant that raced with
+// the cancellation — the granter already set the transfer bit and marked w
+// granted — is re-routed rather than lost: this is exactly the
+// held-clear→transfer-set window where a dropped grant would wedge every
+// remaining waiter. Either way the caller returns without the lock, and
+// the accountant's books look as if w had never queued.
+func (m *Mutex) abandon(w *waiter, reqAt time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := monotime()
+	granted := w.granted.Load() // stable under m.mu: grants happen under it
+	if m.next == w {
+		m.next = nil
+		m.promoteHead()
+	} else {
+		for i, p := range m.parked {
+			if p == w {
+				m.parked = append(m.parked[:i], m.parked[i+1:]...)
+				break
+			}
+		}
+	}
+	if granted {
+		m.regrantLocked(w, now)
+	}
+	m.syncWaitersBit()
+	m.noteAbandonLocked(w.h, now, reqAt)
+}
+
+// regrantLocked re-routes an in-flight grant whose grantee w abandoned:
+// the transfer bit is up, so no fast path can interfere until the grant is
+// either passed on or retired. m.mu held; w is already detached from the
+// queue.
+func (m *Mutex) regrantLocked(w *waiter, now time.Duration) {
+	if w.intra {
+		// An intra-class handoff: the slice is live and belongs to w's
+		// entity. Pass the grant to another queued waiter of the class, or
+		// retire it the way Unlock leaves an idle live slice — fast window
+		// open for the owner, slice-end timer armed for everyone else.
+		if owner, ok := m.acct.SliceOwner(); ok {
+			if w2 := m.takeClassWaiter(owner); w2 != nil {
+				w2.intra = true
+				m.handoff(w2, now)
+				w2.grant()
+				return
+			}
+		}
+		m.mutate(func(x uint64) uint64 { return x &^ wordTransfer })
+		if m.fastOK {
+			m.fastSince = now
+		}
+		m.armSliceEnd()
+		return
+	}
+	// A slice transfer: hand it to the new queue head, keeping the
+	// transfer bit up throughout (dropping it first would momentarily
+	// reopen the expired slice's fast path for the previous owner).
+	if m.next != nil {
+		m.handoff(m.next, now)
+		m.next.grant()
+		return
+	}
+	// Nobody left to grant to: retire the transfer and clear the expired
+	// slice in one atomic step, as transferLocked does for an empty queue.
+	m.acct.ClearSlice()
+	m.mutate(func(x uint64) uint64 { return x &^ (wordTransfer | wordOwner | wordStale) })
+}
+
+// noteAbandon records a cancelled acquisition that never queued (a ban
+// sleep walked out early).
+func (m *Mutex) noteAbandon(h *Handle, reqAt time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.noteAbandonLocked(h, monotime(), reqAt)
+}
+
+// noteAbandonLocked lands a cancellation in the stats and the event
+// stream; the event's detail is the time spent waiting before giving up.
+// m.mu held.
+func (m *Mutex) noteAbandonLocked(h *Handle, now, reqAt time.Duration) {
+	wait := now - reqAt
+	if wait < 0 {
+		wait = 0
+	}
+	m.stats.onAbandon(int64(h.id), h.name)
+	if t := m.loadTracer(); t != nil {
+		t.OnAbandon(m.event(trace.KindAbandon, now, h.id, h.name, wait))
+	}
 }
 
 // TryLock attempts to acquire the mutex without blocking and reports
@@ -466,20 +605,32 @@ func (m *Mutex) fold(now time.Duration) {
 	m.stats.fold(int64(owner), window, ops, now)
 }
 
-// await blocks until the waiter is granted. The queue head spins briefly
-// (next-thread prefetch) before sleeping; others sleep immediately.
-func (w *waiter) await(head bool) {
+// await blocks until the waiter is granted (true) or done fires first
+// (false; done == nil never fires). The queue head spins briefly
+// (next-thread prefetch) before sleeping; others sleep immediately. A
+// false return does not mean the grant cannot still land — the caller must
+// resolve the race under m.mu (see abandon).
+func (w *waiter) await(done <-chan struct{}, head bool) bool {
 	if head {
 		for i := 0; i < 64; i++ {
 			if w.granted.Load() {
-				return
+				return true
 			}
 			runtime.Gosched()
 		}
 	}
 	for !w.granted.Load() {
-		<-w.wake
+		if done == nil {
+			<-w.wake
+			continue
+		}
+		select {
+		case <-w.wake:
+		case <-done:
+			return false
+		}
 	}
+	return true
 }
 
 // grant hands ownership to the waiter. m.mu held.
@@ -553,9 +704,6 @@ func (h *Handle) Unlock() {
 		m.stats.onRelease(int64(h.id), now)
 	}
 	m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
-	for i := 0; i < 50; i++ {
-		runtime.Gosched() // REVIEW ONLY: widen the held-clear→transfer-set window
-	}
 	if t := m.loadTracer(); t != nil {
 		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
 		if rel.SliceExpired {
@@ -580,8 +728,8 @@ func (h *Handle) Unlock() {
 		if owner, ok := m.acct.SliceOwner(); ok && m.word.Load()&wordTransfer == 0 {
 			if w := m.takeClassWaiter(owner); w != nil {
 				m.fastSince = -1
-				if w2 := m.mutate(func(x uint64) uint64 { return x | wordTransfer }); w2&wordHeld != 0 {
-					panic("REVIEW: intra transfer set while a fast-path holder is active")
+				if w2 := m.mutate(func(x uint64) uint64 { return x | wordTransfer }); debugChecks && w2&wordHeld != 0 {
+					debugFail("intra transfer set while a fast-path holder is active")
 				}
 				w.intra = true
 				m.handoff(w, now)
@@ -637,8 +785,8 @@ func (m *Mutex) transferLocked(now time.Duration) {
 		m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
 		return
 	}
-	if w2 := m.mutate(func(w uint64) uint64 { return w | wordTransfer }); w2&wordHeld != 0 {
-		panic("REVIEW: slice transfer set while a fast-path holder is active")
+	if w2 := m.mutate(func(w uint64) uint64 { return w | wordTransfer }); debugChecks && w2&wordHeld != 0 {
+		debugFail("slice transfer set while a fast-path holder is active")
 	}
 	m.handoff(m.next, now)
 	m.next.grant()

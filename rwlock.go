@@ -1,6 +1,7 @@
 package scl
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,11 @@ type RWLock struct {
 	writerOps  atomic.Int64
 	idleTotal  atomic.Int64
 	createdAt  time.Duration
+
+	// cancelled acquisitions per class (RLockContext / WLockContext
+	// returning ctx.Err()).
+	readerCancels atomic.Int64
+	writerCancels atomic.Int64
 
 	// tracing state (slow path only — tracing disables the fast path):
 	// start of the current reader busy interval / writer hold / slice
@@ -260,12 +266,45 @@ func (l *RWLock) fastWUnlock(now time.Duration) bool {
 // RLock acquires the lock shared. During a write slice it blocks until
 // the read slice begins and the writer drains.
 func (l *RWLock) RLock() {
-	now := monotime()
-	if l.fastRLock(now) {
+	if l.fastRLock(monotime()) {
 		return
 	}
+	if ch, _ := l.rlockSlow(); ch != nil {
+		<-ch // granted: reader count already bumped by the granter
+	}
+}
+
+// RLockContext acquires the lock shared, like RLock, but gives up when
+// ctx is cancelled: it returns ctx.Err() and the lock is NOT held. A
+// waiter that abandons detaches from the queue; a grant that raced with
+// the cancellation is released immediately, so class accounting stays
+// consistent either way. An already-cancelled ctx returns without
+// blocking.
+func (l *RWLock) RLockContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.fastRLock(monotime()) {
+		return nil
+	}
+	ch, since := l.rlockSlow()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		l.abandonWaiter(&l.waitR, ch, trace.EntityReaders, since)
+		return ctx.Err()
+	}
+}
+
+// rlockSlow runs the shared acquire under l.mu: either inline (nil
+// channel) or queued (the grant channel, plus the enqueue time).
+func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
 	l.mu.Lock()
-	now = monotime()
+	now := monotime()
 	l.advanceLocked(now)
 	w := l.word.Load()
 	if l.ctrl.Phase() == core.PhaseRead && w&rwWActive == 0 {
@@ -280,14 +319,14 @@ func (l *RWLock) RLock() {
 			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
 		}
 		l.mu.Unlock()
-		return
+		return nil, now
 	}
 	ch := make(chan struct{}, 1)
 	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now})
 	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
 	l.mu.Unlock()
-	<-ch // granted: reader count already bumped by the granter
+	return ch, now
 }
 
 // RUnlock releases a shared hold.
@@ -321,12 +360,42 @@ func (l *RWLock) RUnlock() {
 // within the write slice, so a second writer can use the slice while the
 // first runs non-critical code (paper Figure 12b).
 func (l *RWLock) WLock() {
-	now := monotime()
-	if l.fastWLock(now) {
+	if l.fastWLock(monotime()) {
 		return
 	}
+	if ch, _ := l.wlockSlow(); ch != nil {
+		<-ch // granted: writer-active already set by the granter
+	}
+}
+
+// WLockContext acquires the lock exclusive, like WLock, but gives up when
+// ctx is cancelled: it returns ctx.Err() and the lock is NOT held. See
+// RLockContext for the abandonment semantics.
+func (l *RWLock) WLockContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if l.fastWLock(monotime()) {
+		return nil
+	}
+	ch, since := l.wlockSlow()
+	if ch == nil {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		l.abandonWaiter(&l.waitW, ch, trace.EntityWriters, since)
+		return ctx.Err()
+	}
+}
+
+// wlockSlow runs the exclusive acquire under l.mu: either inline (nil
+// channel) or queued (the grant channel, plus the enqueue time).
+func (l *RWLock) wlockSlow() (chan struct{}, time.Duration) {
 	l.mu.Lock()
-	now = monotime()
+	now := monotime()
 	l.advanceLocked(now)
 	w := l.word.Load()
 	if l.ctrl.Phase() == core.PhaseWrite && w&rwWActive == 0 && w&rwCount == 0 {
@@ -339,14 +408,71 @@ func (l *RWLock) WLock() {
 			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, 0))
 		}
 		l.mu.Unlock()
-		return
+		return nil, now
 	}
 	ch := make(chan struct{}, 1)
 	l.waitW = append(l.waitW, rwWaiter{ch: ch, since: now})
 	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
 	l.mu.Unlock()
-	<-ch // granted: writer-active already set by the granter
+	return ch, now
+}
+
+// abandonWaiter resolves a cancelled waiter under l.mu. If the waiter is
+// still queued it simply detaches. If the grant raced the cancellation,
+// the granter has already removed it from the queue and posted the token
+// to its buffered channel (both under l.mu, so the two cases are mutually
+// exclusive and stable here); the token is consumed and the just-granted
+// hold released immediately, letting advanceLocked re-evaluate the phase
+// and wake whoever is eligible — the grant is never lost.
+func (l *RWLock) abandonWaiter(queue *[]rwWaiter, ch chan struct{}, entity int64, since time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := monotime()
+	for i, wt := range *queue {
+		if wt.ch == ch {
+			*queue = append((*queue)[:i], (*queue)[i+1:]...)
+			l.syncWaitersBit()
+			l.noteAbandonLocked(entity, now, now-since)
+			return
+		}
+	}
+	<-ch // guaranteed present: granted before we took l.mu
+	w := l.word.Load()
+	l.charge(w, now)
+	if entity == trace.EntityReaders {
+		w = l.mutateWord(func(x uint64) uint64 { return x - 1 })
+		if t := l.loadTracer(); t != nil {
+			var busy time.Duration
+			if w&rwCount == 0 {
+				busy = now - l.rStart // the union of the overlapping reads
+			}
+			t.OnRelease(l.event(trace.KindRelease, now, entity, busy))
+		}
+	} else {
+		l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
+		if t := l.loadTracer(); t != nil {
+			t.OnRelease(l.event(trace.KindRelease, now, entity, now-l.wStart))
+		}
+	}
+	l.noteAbandonLocked(entity, now, now-since)
+	l.advanceLocked(now)
+}
+
+// noteAbandonLocked lands a cancellation in the class counters and the
+// event stream. l.mu held.
+func (l *RWLock) noteAbandonLocked(entity int64, now, waited time.Duration) {
+	if waited < 0 {
+		waited = 0
+	}
+	if entity == trace.EntityReaders {
+		l.readerCancels.Add(1)
+	} else {
+		l.writerCancels.Add(1)
+	}
+	if t := l.loadTracer(); t != nil {
+		t.OnAbandon(l.event(trace.KindAbandon, now, entity, waited))
+	}
 }
 
 // WUnlock releases the exclusive hold.
@@ -543,6 +669,9 @@ type RWStats struct {
 	WriterHold time.Duration
 	// ReaderOps and WriterOps count acquisitions per class.
 	ReaderOps, WriterOps int64
+	// ReaderCancels and WriterCancels count abandoned acquisitions per
+	// class (RLockContext / WLockContext returning ctx.Err()).
+	ReaderCancels, WriterCancels int64
 	// Idle is the time the lock was wholly unheld.
 	Idle time.Duration
 	// Elapsed is the time since the lock was created.
@@ -556,11 +685,13 @@ func (l *RWLock) Stats() RWStats {
 	now := monotime()
 	l.charge(l.word.Load(), now)
 	return RWStats{
-		ReaderHold: time.Duration(l.readerHold.Load()),
-		WriterHold: time.Duration(l.writerHold.Load()),
-		ReaderOps:  l.readerOps.Load(),
-		WriterOps:  l.writerOps.Load(),
-		Idle:       time.Duration(l.idleTotal.Load()),
-		Elapsed:    now - l.createdAt,
+		ReaderHold:    time.Duration(l.readerHold.Load()),
+		WriterHold:    time.Duration(l.writerHold.Load()),
+		ReaderOps:     l.readerOps.Load(),
+		WriterOps:     l.writerOps.Load(),
+		ReaderCancels: l.readerCancels.Load(),
+		WriterCancels: l.writerCancels.Load(),
+		Idle:          time.Duration(l.idleTotal.Load()),
+		Elapsed:       now - l.createdAt,
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !scldebug
+
+package scl
+
+// debugChecks is false in release builds: invariant assertions in the
+// lock hot paths compile away entirely. Build with -tags scldebug (as
+// `make check` does for the race suite) to enable them.
+const debugChecks = false
+
+func debugFail(string) {}

@@ -1,0 +1,16 @@
+//go:build scldebug
+
+package scl
+
+// debugChecks gates expensive (and deliberately fatal) internal invariant
+// assertions in the lock hot paths. The scldebug build tag turns them on;
+// `make check` runs the race suite with the tag so an interleaving that
+// violates an invariant fails CI, while release builds — without the tag —
+// can never crash a process on one (the assertions compile away).
+const debugChecks = true
+
+// debugFail reports a violated internal invariant. Only reachable under
+// the scldebug build tag.
+func debugFail(msg string) {
+	panic("scl: internal invariant violated (scldebug): " + msg)
+}

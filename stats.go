@@ -39,6 +39,7 @@ type entityStats struct {
 	bans         int64
 	banTime      time.Duration
 	handoffs     int64
+	cancels      int64
 	holds        *metrics.Reservoir
 	waits        *metrics.Reservoir
 }
@@ -146,6 +147,17 @@ func (s *lockStats) onHandoff(id int64) {
 	s.entity(id).handoffs++
 }
 
+// onAbandon records a cancelled acquisition (a LockContext that gave up
+// mid-ban or mid-queue). No hold or wait lands in the distributions: an
+// abandoned attempt leaves the usage books exactly as if it never queued.
+func (s *lockStats) onAbandon(id int64, name string) {
+	e := s.entity(id)
+	if name != "" {
+		e.name = name
+	}
+	e.cancels++
+}
+
 func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 	n := len(s.entities)
 	snap := StatsSnapshot{
@@ -155,6 +167,7 @@ func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 		Bans:         make(map[int64]int64, n),
 		BanTime:      make(map[int64]time.Duration, n),
 		Handoffs:     make(map[int64]int64, n),
+		Cancels:      make(map[int64]int64, n),
 		HoldDist:     make(map[int64]metrics.Summary, n),
 		WaitDist:     make(map[int64]metrics.Summary, n),
 		Idle:         s.idle,
@@ -173,6 +186,7 @@ func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 		snap.Bans[id] = e.bans
 		snap.BanTime[id] = e.banTime
 		snap.Handoffs[id] = e.handoffs
+		snap.Cancels[id] = e.cancels
 		snap.HoldDist[id] = e.holds.Summary()
 		snap.WaitDist[id] = e.waits.Summary()
 	}
@@ -198,6 +212,10 @@ type StatsSnapshot struct {
 	// Handoffs counts ownership grants received per entity (slice
 	// transfers and intra-entity sibling handoffs).
 	Handoffs map[int64]int64
+	// Cancels counts acquisitions abandoned per entity: LockContext calls
+	// that returned ctx.Err() from the ban sleep or the waiter queue. An
+	// abandoned attempt charges no usage and keeps no queue position.
+	Cancels map[int64]int64
 	// HoldDist and WaitDist summarize per-operation hold and wait (queue
 	// plus ban) distributions from bounded reservoir samples.
 	HoldDist map[int64]metrics.Summary

@@ -27,6 +27,11 @@ type EntityTotals struct {
 	// Handoffs counts ownership grants to this entity; SliceEnds counts
 	// slice expirations charged to it.
 	Handoffs, SliceEnds int64
+	// Abandons counts cancelled acquisitions (LockContext and friends
+	// giving up mid-ban or mid-queue); AbandonWait is the total time those
+	// attempts had waited before abandoning.
+	Abandons    int64
+	AbandonWait time.Duration
 }
 
 // LockTotals aggregates one lock's event stream.
@@ -137,6 +142,9 @@ func Aggregate(evs []Event) []*LockTotals {
 			e.Handoffs++
 		case KindSliceEnd:
 			e.SliceEnds++
+		case KindAbandon:
+			e.Abandons++
+			e.AbandonWait += ev.Detail
 		}
 	}
 	out := make([]*LockTotals, 0, len(locks))
@@ -166,7 +174,7 @@ func (l *LockTotals) String() string {
 	var b strings.Builder
 	t := metrics.NewTable(
 		"lock "+name,
-		"entity", "ops", "hold", "hold%", "LOT", "bans", "ban time", "hold p50µs", "hold p99µs", "wait p99µs")
+		"entity", "ops", "hold", "hold%", "LOT", "bans", "ban time", "cancels", "hold p50µs", "hold p99µs", "wait p99µs")
 	for _, e := range l.Entities {
 		holdPct := 0.0
 		if l.Span > 0 {
@@ -177,7 +185,7 @@ func (l *LockTotals) String() string {
 		t.AddRow(e.Label, e.Acquires,
 			e.Hold.Round(time.Microsecond).String(), holdPct,
 			l.LOT(e).Round(time.Microsecond).String(),
-			e.Bans, e.BanTime.Round(time.Microsecond).String(),
+			e.Bans, e.BanTime.Round(time.Microsecond).String(), e.Abandons,
 			metrics.Micros(hd.P50), metrics.Micros(hd.P99), metrics.Micros(wd.P99))
 	}
 	b.WriteString(t.String())

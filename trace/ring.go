@@ -84,7 +84,7 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// The five scl.Tracer hooks: a Ring records every kind.
+// The six scl.Tracer hooks: a Ring records every kind.
 
 // OnAcquire implements scl.Tracer.
 func (r *Ring) OnAcquire(ev Event) { r.Record(ev) }
@@ -100,3 +100,6 @@ func (r *Ring) OnBan(ev Event) { r.Record(ev) }
 
 // OnHandoff implements scl.Tracer.
 func (r *Ring) OnHandoff(ev Event) { r.Record(ev) }
+
+// OnAbandon implements scl.Tracer.
+func (r *Ring) OnAbandon(ev Event) { r.Record(ev) }

@@ -40,6 +40,12 @@ const (
 	// slice transfer, or an intra-entity sibling handoff within a live
 	// slice). Detail is zero.
 	KindHandoff Kind = "handoff"
+	// KindAbandon: a cancellable acquisition (LockContext, RLockContext,
+	// WLockContext) gave up — the context was cancelled while the entity
+	// slept out a ban or sat in the waiter queue. Detail is the time the
+	// attempt had waited before abandoning. No usage is charged and no
+	// matching release follows.
+	KindAbandon Kind = "abandon"
 )
 
 // Event is one structured lock event. Events carry process-local
@@ -97,6 +103,8 @@ func (ev Event) String() string {
 		fmt.Fprintf(&b, "  banned %v", ev.Detail)
 	case KindSliceEnd:
 		fmt.Fprintf(&b, "  used %v", ev.Detail)
+	case KindAbandon:
+		fmt.Fprintf(&b, "  gave up after %v", ev.Detail)
 	case KindAcquire:
 		if ev.Detail > 0 {
 			fmt.Fprintf(&b, "  waited %v", ev.Detail)

@@ -38,6 +38,12 @@ type Tracer interface {
 	// OnHandoff fires when ownership is granted to a waiting entity —
 	// a slice transfer, or an intra-entity sibling handoff (paper §6).
 	OnHandoff(trace.Event)
+	// OnAbandon fires when a cancellable acquisition (LockContext,
+	// RLockContext, WLockContext) gives up because its context was
+	// cancelled while it slept out a ban or sat in the waiter queue.
+	// Detail is the time the attempt had waited. No usage was charged
+	// and no matching release event follows.
+	OnAbandon(trace.Event)
 }
 
 // event assembles a trace.Event for this lock.
