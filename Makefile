@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-debug review-gate bench bench-all
+.PHONY: check build vet test race race-debug review-gate docs-check bench bench-all
 
-check: build vet race race-debug review-gate
+check: build vet race race-debug review-gate docs-check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ race-debug:
 review-gate:
 	@! grep -rn --include='*.go' --exclude='*_test.go' 'REVIEW' . \
 		|| { echo 'review-gate: REVIEW marker in non-test Go file'; exit 1; }
+
+# Documentation gate: every exported identifier in the public packages
+# (scl, lockstat, trace, export) must carry a doc comment, and the
+# top-level markdown files must not contain dead relative links.
+docs-check:
+	$(GO) run ./cmd/doclint
 
 # Not part of the gate: the real-lock benchmarks (fast path, contention,
 # sync-primitive baselines). Each run is appended to BENCH_scl.json by

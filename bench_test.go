@@ -229,6 +229,18 @@ func BenchmarkGroups(b *testing.B) {
 	b.ReportMetric(gain, "grouped-tput-gain")
 }
 
+func BenchmarkChurn(b *testing.B) {
+	var reaped int64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Churn(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		reaped = res.Runs[1].Reaped
+	}
+	b.ReportMetric(float64(reaped), "reaped-entities")
+}
+
 func BenchmarkULE(b *testing.B) {
 	var usclP99 float64
 	for i := 0; i < b.N; i++ {
@@ -293,7 +305,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig8b": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12a": true, "fig12b": true, "fig13": true, "fig14": true,
 		"ablation": true, "groups": true, "ule": true, "pi": true,
-		"multilock": true,
+		"multilock": true, "churn": true,
 	}
 	for _, name := range experiments.Names() {
 		if !covered[name] {
@@ -336,6 +348,44 @@ func BenchmarkSyncMutexReacquire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Lock()
 		m.Unlock()
+	}
+}
+
+// BenchmarkMutexFastPath is BenchmarkMutexOwnerReacquire with the
+// inactive-entity GC armed: the lock-free owner-reacquire path with a
+// live WithInactiveGC threshold. The reap scan is piggybacked on slice
+// boundaries and rate-limited, so this must track OwnerReacquire — any
+// gap is GC overhead leaking into the fast path.
+func BenchmarkMutexFastPath(b *testing.B) {
+	m := scl.NewMutex(scl.Options{Slice: time.Hour}, scl.WithInactiveGC(time.Hour))
+	h := m.Register()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Lock()
+		h.Unlock()
+	}
+}
+
+// BenchmarkMutexChurn measures the entity-lifecycle cost the GC bounds:
+// each iteration registers a fresh entity, takes the lock once, and
+// departs without Close, leaving cleanup to the inactive-entity GC (1ms
+// threshold, so reaping runs continually within the benchmark). A k-SCL
+// (zero slice) keeps successive entities from serializing on slice
+// expiry; every release is a boundary the lazy reaper can piggyback on.
+// This is the goroutine-per-request pattern from examples/churn.
+func BenchmarkMutexChurn(b *testing.B) {
+	m := scl.NewMutex(scl.Options{Slice: -1}, scl.WithInactiveGC(time.Millisecond))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := m.Register()
+		h.Lock()
+		h.Unlock()
+	}
+	b.StopTimer()
+	if n := m.Entities(); n > 4096 {
+		b.Fatalf("%d entities registered after churn, GC not keeping up", n)
 	}
 }
 

@@ -1,0 +1,177 @@
+// Command doclint is the repository's documentation gate (make
+// docs-check): it fails if any exported identifier in the public packages
+// (scl, scl/lockstat, scl/trace, scl/export) lacks a doc comment, or if a
+// relative link in the top-level markdown files points at a path that
+// does not exist. It uses only go/ast and go/parser, so the gate needs no
+// third-party linters.
+//
+//	doclint [-root dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// pkgDirs are the public packages whose exported API must be documented,
+// relative to the repository root.
+var pkgDirs = []string{".", "lockstat", "trace", "export"}
+
+// mdFiles are the markdown files whose relative links must resolve.
+var mdFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+
+func main() {
+	root := flag.String("root", ".", "repository root")
+	flag.Parse()
+
+	var problems []string
+	for _, dir := range pkgDirs {
+		ps, err := lintPackage(filepath.Join(*root, dir))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		problems = append(problems, ps...)
+	}
+	for _, md := range mdFiles {
+		ps, err := lintLinks(*root, md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(1)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintPackage reports exported identifiers without doc comments in the
+// non-test Go files of dir. Grouped const/var declarations are satisfied
+// by a doc comment on the block; methods need documenting only when their
+// receiver's base type is itself exported.
+func lintPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc.Text() != "" {
+						continue
+					}
+					if d.Recv != nil && !exportedReceiver(d.Recv) {
+						continue
+					}
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				case *ast.GenDecl:
+					blockDoc := d.Doc.Text() != ""
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && !blockDoc && s.Doc.Text() == "" {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if blockDoc || s.Doc.Text() != "" {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									report(n.Pos(), declKind(d.Tok), n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// exportedReceiver reports whether a method's receiver base type is an
+// exported name (methods on unexported types are internal API).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// mdLink matches markdown links and images; the first group is the target.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// lintLinks reports relative links in root/name that do not resolve to an
+// existing file or directory. Absolute URLs and pure anchors are skipped
+// (anchor validity within a file is out of scope).
+func lintLinks(root, name string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(root, name))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, match := range mdLink.FindAllStringSubmatch(line, -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx]
+			}
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(root, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: dead relative link %q", name, i+1, match[1]))
+			}
+		}
+	}
+	return out, nil
+}

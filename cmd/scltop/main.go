@@ -207,8 +207,13 @@ func renderLock(l export.LockSnapshot, prev *export.LockSnapshot, window time.Du
 	if l.Elapsed > 0 {
 		idlePct = 100 * float64(l.Idle) / float64(l.Elapsed)
 	}
-	return t.String() + fmt.Sprintf(
-		"idle %.1f%%  Jain(hold) %.3f  Jain(LOT) %.3f\n\n", idlePct, l.JainHold, l.JainLOT)
+	footer := fmt.Sprintf(
+		"idle %.1f%%  Jain(hold) %.3f  Jain(LOT) %.3f  registered %d",
+		idlePct, l.JainHold, l.JainLOT, l.Registered)
+	if l.Reaped > 0 {
+		footer += fmt.Sprintf("  reaped %d", l.Reaped)
+	}
+	return t.String() + footer + "\n\n"
 }
 
 func prevEntity(prev *export.LockSnapshot, id int64) *export.EntitySnapshot {

@@ -33,12 +33,14 @@
 //
 //   - Mutex.Stats returns a StatsSnapshot: per-entity acquisitions, hold
 //     time, lock opportunity time, bans, ban time, handoffs, and hold/wait
-//     distributions, plus lock-level idle time and Jain fairness indices.
+//     distributions, plus lock-level idle time, Jain fairness indices,
+//     the registered-entity count and inactive-entity reap counters.
 //   - The Tracer interface (Options.Tracer, Mutex.SetTracer,
 //     RWLock.SetTracer) receives a structured trace.Event for every
-//     acquisition, release, slice end, ban and handoff. Package scl/trace
-//     provides a lock-free bounded ring buffer that satisfies Tracer, plus
-//     JSONL serialization and offline aggregation.
+//     acquisition, release, slice end, ban, handoff, abandonment and
+//     inactive-entity reap. Package scl/trace provides a lock-free bounded
+//     ring buffer that satisfies Tracer, plus JSONL serialization and
+//     offline aggregation.
 //   - Package scl/export turns any set of locks and rings into continuous
 //     metrics: a Prometheus text-exposition endpoint, expvar publication,
 //     and the JSON snapshot that cmd/scltop renders live.
@@ -148,4 +150,45 @@
 // The k-SCL variant used for kernel-style locks is a Mutex with
 // Options{Slice: -1} (every release is a slice boundary) and an
 // InactiveTimeout for entity garbage collection.
+//
+// # Entity lifecycle and the inactive-entity GC
+//
+// An entity's accounting state lives from Register to Handle.Close. For
+// long-lived entities (worker pools, tenants) that is the whole story:
+// Close settles the books and removes the entity's weight, so survivors'
+// proportional shares grow immediately. Close during an operation in
+// flight — the entity holding the lock, parked in the waiter queue, or
+// inside a lock-free fast-path hold — defers the removal to the end of
+// that operation, which converges to the same books (no stale weight, no
+// lost grant; a departing slice owner's queued peers are granted the lock
+// at once).
+//
+// Workloads that register an entity per short-lived actor — a goroutine
+// per request, a connection per client — cannot rely on Close discipline
+// alone: the paper's kernel k-SCL faces the same problem with threads
+// that exit without unregistering, and reclaims per-thread state idle
+// longer than one second (§4.4). WithInactiveGC is that mechanism with a
+// configurable threshold: entities idle past it are reaped — removed
+// from the accounting, their sibling refcount and per-entity stats
+// dropped — so registered-entity count and memory stay proportional to
+// the active set, not to every entity ever seen. Differences from the
+// kernel, deliberate in a library:
+//
+//   - The reaper is lazy: it piggybacks on slice boundaries, the slice
+//     timer and Stats snapshots, rate-limited to once per quarter
+//     threshold. There is no background goroutine, and a lock whose
+//     entities all close cleanly never scans at all.
+//   - Holders, the live slice owner, queued waiters and banned entities
+//     are never reaped — reaping a banned entity would launder its
+//     penalty into a fresh registration.
+//   - A reaped entity's Handle keeps working: the next acquisition
+//     re-registers it through the join-credit floor (Options.JoinCredit),
+//     exactly like a latecomer, so expiry cannot be farmed for an
+//     accounting advantage.
+//
+// Each reap emits trace.KindReap to the Tracer (Tracer.OnReap), counts in
+// StatsSnapshot.Reaped/ReapedHold and scl_entities_reaped_total, and the
+// live count is StatsSnapshot.Registered, Mutex.Entities and
+// scl_entities_registered. See examples/churn for the
+// goroutine-per-request pattern.
 package scl

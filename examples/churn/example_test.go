@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBoundedEntityCount runs the churny server and asserts the
+// inactive-entity GC keeps the registered-entity count proportional to
+// the in-flight request set — not the total number of requests served —
+// and that the long-lived entity survives.
+func TestBoundedEntityCount(t *testing.T) {
+	requests := 4096
+	if testing.Short() {
+		requests = 512
+	}
+	m := run(requests, t.Logf)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Entities() > 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		m.Stats() // snapshots give the lazy GC a chance to run
+	}
+
+	// Everything idle past the threshold is reaped; at most the
+	// maintenance entity's state may linger (it was active until the very
+	// end, inside the last threshold window).
+	if n := m.Entities(); n > 1 {
+		t.Fatalf("%d entities registered after churn settled, want <= 1 (GC leak)", n)
+	}
+	snap := m.Stats()
+	if snap.Reaped < int64(requests/2) {
+		t.Errorf("only %d entities reaped after %d churned requests", snap.Reaped, requests)
+	}
+}

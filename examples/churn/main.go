@@ -1,0 +1,83 @@
+// Entity churn with automatic GC: a goroutine-per-request server whose
+// handlers register a fresh entity on a shared scl.Mutex, serve, and
+// return — without ever calling Handle.Close. With WithInactiveGC the
+// lock reaps the departed entities' accounting state once they have been
+// idle past the threshold, so the registered-entity count tracks the
+// in-flight request set instead of every request ever served; the
+// long-lived "maintenance" entity keeps its history throughout. Compare
+// examples/deadline (explicit Close, per-request deadlines).
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scl"
+)
+
+// run serves requests batches of handler goroutines against one GC'd
+// lock and returns it, so the test can assert the entity count stayed
+// bounded.
+func run(requests int, report func(string, ...any)) *scl.Mutex {
+	m := scl.NewMutex(
+		scl.Options{Slice: 100 * time.Microsecond, Name: "state"},
+		scl.WithInactiveGC(20*time.Millisecond),
+	)
+
+	// A long-lived entity: never idle long enough to be reaped.
+	maint := m.Register().SetName("maintenance")
+	stop := make(chan struct{})
+	var maintWG sync.WaitGroup
+	maintWG.Add(1)
+	go func() {
+		defer maintWG.Done()
+		defer maint.Close()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			maint.Lock()
+			maint.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Requests arrive in waves of concurrent handlers. Each handler is
+	// its own schedulable entity; none closes its handle — the GC is the
+	// only thing keeping the books bounded.
+	const wave = 16
+	var wg sync.WaitGroup
+	for served := 0; served < requests; served += wave {
+		for i := 0; i < wave; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := m.Register() // no matching Close
+				h.Lock()
+				// ... touch shared state ...
+				h.Unlock()
+			}()
+		}
+		wg.Wait()
+		if served%(wave*64) == 0 {
+			report("served %5d requests, %3d entities registered\n", served, m.Entities())
+		}
+	}
+
+	// Idle past the threshold; the next snapshot triggers the sweep.
+	time.Sleep(30 * time.Millisecond)
+	snap := m.Stats()
+	report("served %5d requests: %d entities registered, %d reaped\n",
+		requests, snap.Registered, snap.Reaped)
+
+	close(stop)
+	maintWG.Wait()
+	return m
+}
+
+func main() {
+	run(4096, func(format string, args ...any) { fmt.Printf(format, args...) })
+}

@@ -93,6 +93,11 @@ type LockSnapshot struct {
 	// hold times and lock opportunity times (paper §3.2).
 	JainHold float64 `json:"jainHold"`
 	JainLOT  float64 `json:"jainLOT"`
+	// Registered is the number of entities currently registered in the
+	// lock's accounting (the active set, when the inactive-entity GC is
+	// on); Reaped counts entities the GC has removed since creation.
+	Registered int   `json:"registered"`
+	Reaped     int64 `json:"reaped,omitempty"`
 	// Entities, sorted by descending hold time.
 	Entities []EntitySnapshot `json:"entities,omitempty"`
 }
@@ -184,11 +189,13 @@ func lockSnapshot(name string, s scl.StatsSnapshot) LockSnapshot {
 	ids := s.IDs()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	ls := LockSnapshot{
-		Name:     name,
-		Elapsed:  s.Elapsed,
-		Idle:     s.Idle,
-		JainHold: s.JainHold(ids...),
-		JainLOT:  s.JainLOT(ids...),
+		Name:       name,
+		Elapsed:    s.Elapsed,
+		Idle:       s.Idle,
+		JainHold:   s.JainHold(ids...),
+		JainLOT:    s.JainLOT(ids...),
+		Registered: s.Registered,
+		Reaped:     s.Reaped,
 	}
 	for _, id := range ids {
 		label := s.Names[id]

@@ -33,6 +33,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, l := range snap.Locks {
 		ew.metric("scl_lock_jain_lot", labels{"lock": l.Name}, l.JainLOT)
 	}
+	ew.family("scl_entities_registered", "gauge", "Entities currently registered in the lock's accounting (the active set under the inactive-entity GC).")
+	for _, l := range snap.Locks {
+		ew.metric("scl_entities_registered", labels{"lock": l.Name}, float64(l.Registered))
+	}
+	ew.family("scl_entities_reaped_total", "counter", "Entities removed by the inactive-entity GC (scl.WithInactiveGC) since lock creation.")
+	for _, l := range snap.Locks {
+		ew.metric("scl_entities_reaped_total", labels{"lock": l.Name}, float64(l.Reaped))
+	}
 
 	ew.family("scl_entity_acquisitions_total", "counter", "Lock acquisitions per entity.")
 	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {

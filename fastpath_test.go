@@ -29,6 +29,7 @@ func (r *recTracer) OnSliceEnd(ev trace.Event) { r.add(ev) }
 func (r *recTracer) OnBan(ev trace.Event)      { r.add(ev) }
 func (r *recTracer) OnHandoff(ev trace.Event)  { r.add(ev) }
 func (r *recTracer) OnAbandon(ev trace.Event)  { r.add(ev) }
+func (r *recTracer) OnReap(ev trace.Event)     { r.add(ev) }
 
 func (r *recTracer) events() []trace.Event {
 	r.mu.Lock()

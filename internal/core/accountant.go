@@ -360,27 +360,102 @@ func (a *Accountant) Usage(id ID) time.Duration {
 // registered entities.
 func (a *Accountant) GrandUsage() time.Duration { return a.grandUsage }
 
+// Expired describes one entity removed by ExpireInactive: its ID and how
+// long it had been idle when reaped.
+type Expired struct {
+	ID   ID
+	Idle time.Duration
+}
+
 // Expire removes entities that have not touched the lock since
 // now − InactiveTimeout (k-SCL's GC of stale per-thread state). It is a
 // no-op when InactiveTimeout is zero or for entities currently holding,
 // owning the slice, or still banned. It returns the IDs removed.
 func (a *Accountant) Expire(now time.Duration) []ID {
+	exp := a.ExpireInactive(now, nil)
+	if exp == nil {
+		return nil
+	}
+	gone := make([]ID, len(exp))
+	for i, e := range exp {
+		gone[i] = e.ID
+	}
+	return gone
+}
+
+// ExpireInactive is Expire with a caller veto: entities for which keep
+// returns true survive the sweep even when stale (the enclosing lock uses
+// this to protect entities that are sitting in its waiter queue, whose
+// lastActive legitimately predates a long wait). A nil keep vetoes
+// nothing. Entities currently holding, owning the slice, or still banned
+// are always kept: reaping a banned entity would let it re-register
+// through the join-credit floor and launder the remainder of its penalty.
+func (a *Accountant) ExpireInactive(now time.Duration, keep func(ID) bool) []Expired {
 	if a.params.InactiveTimeout <= 0 {
 		return nil
 	}
-	var gone []ID
+	var gone []Expired
 	for id, e := range a.entities {
 		if e.holding || (a.hasOwner && a.sliceOwner == id) || e.bannedUntil > now {
 			continue
 		}
-		if now-e.lastActive >= a.params.InactiveTimeout {
-			gone = append(gone, id)
+		idle := now - e.lastActive
+		if idle < a.params.InactiveTimeout {
+			continue
 		}
+		if keep != nil && keep(id) {
+			continue
+		}
+		gone = append(gone, Expired{ID: id, Idle: idle})
 	}
-	for _, id := range gone {
-		a.Unregister(id)
+	for _, g := range gone {
+		a.Unregister(g.ID)
 	}
 	return gone
+}
+
+// Holding reports whether id is currently inside a critical section
+// according to the accounting (between OnAcquire and OnRelease).
+func (a *Accountant) Holding(id ID) bool {
+	e, ok := a.entities[id]
+	return ok && e.holding
+}
+
+// TotalWeight returns Σ weight over registered entities.
+func (a *Accountant) TotalWeight() int64 { return a.totalWeight }
+
+// CheckInvariants verifies the accountant's internal bookkeeping and
+// returns the first violation found, or nil. The invariants: totalWeight
+// and grandUsage equal the sums over registered entities, no entity
+// carries a non-positive weight or negative usage, and a live slice owner
+// is a registered entity. It is O(n) and meant for debug builds (the
+// scldebug checks in the real locks) and tests, at quiescent points —
+// not mid-operation.
+func (a *Accountant) CheckInvariants() error {
+	var tw int64
+	var gu time.Duration
+	for id, e := range a.entities {
+		if e.weight <= 0 {
+			return fmt.Errorf("core: entity %d has non-positive weight %d", id, e.weight)
+		}
+		if e.usage < 0 {
+			return fmt.Errorf("core: entity %d has negative usage %v", id, e.usage)
+		}
+		tw += e.weight
+		gu += e.usage
+	}
+	if tw != a.totalWeight {
+		return fmt.Errorf("core: totalWeight %d != Σ weights %d (stale weight)", a.totalWeight, tw)
+	}
+	if gu != a.grandUsage {
+		return fmt.Errorf("core: grandUsage %v != Σ usage %v", a.grandUsage, gu)
+	}
+	if a.hasOwner {
+		if _, ok := a.entities[a.sliceOwner]; !ok {
+			return fmt.Errorf("core: slice owner %d is not registered", a.sliceOwner)
+		}
+	}
+	return nil
 }
 
 // rescale halves every usage counter; fractions (and hence all future

@@ -451,3 +451,108 @@ func TestAbandonedWaiterLeavesNoTrace(t *testing.T) {
 		t.Fatal("unregistered entity still tracked")
 	}
 }
+
+func TestExpireInactiveReportsIdleAndHonorsKeep(t *testing.T) {
+	a := NewAccountant(Params{Slice: 0, InactiveTimeout: sec})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, ReferenceWeight, 0)
+	a.Register(3, ReferenceWeight, 0)
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, time.Millisecond) // entity 1 last active at 1ms
+	// Entities 2 and 3 never acquire: last active at registration (t=0).
+	// At t=3s all three are past the 1s threshold; keep vetoes entity 2
+	// (it stands in for "still queued at the lock layer").
+	gone := a.ExpireInactive(3*sec, func(id ID) bool { return id == 2 })
+	if len(gone) != 2 {
+		t.Fatalf("ExpireInactive removed %v, want entities 1 and 3", gone)
+	}
+	idle := map[ID]time.Duration{}
+	for _, e := range gone {
+		idle[e.ID] = e.Idle
+	}
+	if got := idle[1]; got != 3*sec-time.Millisecond {
+		t.Errorf("idle(1) = %v, want %v", got, 3*sec-time.Millisecond)
+	}
+	if got := idle[3]; got != 3*sec {
+		t.Errorf("idle(3) = %v, want %v", got, 3*sec)
+	}
+	if !a.Registered(2) {
+		t.Fatal("keep-vetoed entity was reaped")
+	}
+	if a.Registered(1) || a.Registered(3) {
+		t.Fatal("reaped entity still registered")
+	}
+}
+
+func TestExpireInactiveSkipsSliceOwner(t *testing.T) {
+	a := NewAccountant(Params{Slice: time.Hour, InactiveTimeout: sec})
+	a.Register(1, ReferenceWeight, 0)
+	a.StartSlice(1, 0)
+	// The slice owner has been idle forever, but reaping it would strand
+	// the slice state; it must survive until the slice is cleared.
+	if gone := a.ExpireInactive(time.Hour, nil); len(gone) != 0 {
+		t.Fatalf("ExpireInactive reaped the slice owner: %v", gone)
+	}
+	a.ClearSlice()
+	if gone := a.ExpireInactive(time.Hour, nil); len(gone) != 1 {
+		t.Fatalf("ExpireInactive after ClearSlice removed %v, want entity 1", gone)
+	}
+}
+
+func TestHoldingAndTotalWeight(t *testing.T) {
+	a := NewAccountant(Params{})
+	a.Register(1, ReferenceWeight, 0)
+	a.Register(2, 2*ReferenceWeight, 0)
+	if got := a.TotalWeight(); got != 3*ReferenceWeight {
+		t.Fatalf("TotalWeight = %d, want %d", got, 3*ReferenceWeight)
+	}
+	if a.Holding(1) {
+		t.Fatal("Holding(1) before acquire")
+	}
+	a.OnAcquire(1, 0)
+	if !a.Holding(1) {
+		t.Fatal("!Holding(1) while held")
+	}
+	a.OnRelease(1, time.Millisecond)
+	if a.Holding(1) {
+		t.Fatal("Holding(1) after release")
+	}
+	a.Unregister(2)
+	if got := a.TotalWeight(); got != ReferenceWeight {
+		t.Fatalf("TotalWeight = %d after unregister, want %d", got, ReferenceWeight)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	a := newTwoThreadAccountant(Params{Slice: 0})
+	a.StartSlice(1, 0)
+	a.OnAcquire(1, 0)
+	a.OnRelease(1, time.Millisecond)
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("healthy accountant: %v", err)
+	}
+
+	// Each corruption must be caught, and restoring it must heal the check.
+	a.totalWeight++
+	if a.CheckInvariants() == nil {
+		t.Error("stale totalWeight not detected")
+	}
+	a.totalWeight--
+
+	a.grandUsage += time.Second
+	if a.CheckInvariants() == nil {
+		t.Error("stale grandUsage not detected")
+	}
+	a.grandUsage -= time.Second
+
+	owner := a.sliceOwner
+	a.sliceOwner = 999
+	if a.CheckInvariants() == nil {
+		t.Error("unregistered slice owner not detected")
+	}
+	a.sliceOwner = owner
+
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatalf("healed accountant: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"scl"
+	"scl/internal/metrics"
+)
+
+// ChurnResult reproduces the paper's §4.4 argument for k-SCL's
+// inactive-entity GC on the real u-SCL: under a goroutine-per-request
+// workload that never calls Handle.Close, per-entity accounting state
+// grows without bound unless inactive entities are reaped. The experiment
+// runs the same churn workload with the GC off and on
+// (scl.WithInactiveGC) and samples the registered-entity count and the
+// process heap over time; long-lived survivor entities run throughout so
+// the run also checks that reaping bystanders leaves their fairness
+// untouched.
+type ChurnResult struct {
+	Horizon   time.Duration
+	Threshold time.Duration
+	Runs      []ChurnRun
+}
+
+// ChurnRun is one GC configuration's outcome.
+type ChurnRun struct {
+	// GC reports whether WithInactiveGC was enabled.
+	GC bool
+	// Churned is the number of short-lived entities that registered, used
+	// the lock, and departed without Close during the run.
+	Churned int
+	// Samples tracks registered entities and heap over the run.
+	Samples []ChurnSample
+	// FinalRegistered is the registered-entity count after the run
+	// settled (one GC threshold past the last churn operation); Reaped is
+	// the lock's cumulative reap counter.
+	FinalRegistered int
+	Reaped          int64
+	// SurvivorJain is Jain's fairness index over the survivor entities'
+	// hold times.
+	SurvivorJain float64
+}
+
+// ChurnSample is one point of the entity-count / heap time series.
+type ChurnSample struct {
+	At         time.Duration
+	Registered int
+	HeapKB     uint64
+}
+
+// String renders both runs: the sampled series, then the bounded-versus-
+// unbounded comparison the GC exists for.
+func (r *ChurnResult) String() string {
+	out := ""
+	for _, run := range r.Runs {
+		mode := "GC off"
+		if run.GC {
+			mode = fmt.Sprintf("GC on (threshold %v)", r.Threshold)
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("entity churn (%s): %d short-lived entities over %v, no Close",
+				mode, run.Churned, r.Horizon),
+			"time", "registered", "heap KB")
+		for _, s := range run.Samples {
+			t.AddRow(s.At.Round(time.Millisecond).String(), s.Registered, s.HeapKB)
+		}
+		out += t.String()
+		out += fmt.Sprintf("final registered: %d  reaped: %d  survivor Jain(hold): %.3f\n\n",
+			run.FinalRegistered, run.Reaped, run.SurvivorJain)
+	}
+	return out
+}
+
+// churnSurvivors is the number of long-lived entities that keep using the
+// lock across the whole run (the active set the GC must preserve).
+const churnSurvivors = 4
+
+// Churn runs the entity-churn comparison on the real scl.Mutex.
+func Churn(o Options) (*ChurnResult, error) {
+	horizon := o.scaled(1 * time.Second)
+	if horizon < 20*time.Millisecond {
+		horizon = 20 * time.Millisecond
+	}
+	// A threshold well under the horizon, so several reap sweeps happen
+	// within the run; the paper's kernel uses 1s against much longer
+	// process lifetimes.
+	threshold := horizon / 8
+	res := &ChurnResult{Horizon: horizon, Threshold: threshold}
+	for _, gc := range []bool{false, true} {
+		run, err := churnRun(gc, horizon, threshold)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, *run)
+	}
+	return res, nil
+}
+
+func churnRun(gc bool, horizon, threshold time.Duration) (*ChurnRun, error) {
+	opts := scl.Options{Slice: 100 * time.Microsecond, Name: "churn"}
+	var extra []scl.Option
+	if gc {
+		extra = append(extra, scl.WithInactiveGC(threshold))
+	}
+	m := scl.NewMutex(opts, extra...)
+	run := &ChurnRun{GC: gc}
+
+	// Survivors: long-lived entities locking throughout the run.
+	var (
+		wg          sync.WaitGroup
+		stop        = make(chan struct{})
+		survivorIDs []int64
+	)
+	for i := 0; i < churnSurvivors; i++ {
+		h := m.Register().SetName(fmt.Sprintf("survivor-%d", i))
+		survivorIDs = append(survivorIDs, h.ID())
+		wg.Add(1)
+		go func(h *scl.Handle) {
+			defer wg.Done()
+			defer h.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Lock()
+				spin(2 * time.Microsecond)
+				h.Unlock()
+				time.Sleep(50 * time.Microsecond)
+			}
+		}(h)
+	}
+
+	// Churn: short-lived entities that lock a few times and depart
+	// without Close — the goroutine-per-request server that forgets the
+	// handle. Sampled at ten points across the horizon.
+	start := time.Now()
+	nextSample := horizon / 10
+	for time.Since(start) < horizon {
+		h := m.Register()
+		for i := 0; i < 3; i++ {
+			h.Lock()
+			spin(time.Microsecond)
+			h.Unlock()
+		}
+		run.Churned++
+		if el := time.Since(start); el >= nextSample {
+			run.Samples = append(run.Samples, sampleChurn(m, el))
+			nextSample = el + horizon/10
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Fairness among survivors, read before the settle below — after a
+	// threshold of quiet the GC is entitled to reap the survivors' own
+	// stats too.
+	run.SurvivorJain = m.Stats().JainHold(survivorIDs...)
+
+	// Settle: give the lazy GC a threshold (plus slack) of idle time,
+	// then let a Stats snapshot trigger the sweep.
+	time.Sleep(threshold + threshold/2)
+	snap := m.Stats()
+	run.Samples = append(run.Samples, sampleChurn(m, time.Since(start)))
+	run.FinalRegistered = m.Entities()
+	run.Reaped = snap.Reaped
+	return run, nil
+}
+
+func sampleChurn(m *scl.Mutex, at time.Duration) ChurnSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ChurnSample{At: at, Registered: m.Entities(), HeapKB: ms.HeapAlloc / 1024}
+}
+
+// spin busy-waits (critical sections must consume lock time, not sleep).
+func spin(d time.Duration) {
+	for t0 := time.Now(); time.Since(t0) < d; {
+	}
+}
+
+func init() {
+	register(Runner{
+		Name:  "churn",
+		Paper: "§4.4 inactive-entity GC: registered entities and heap stay bounded under handle churn with WithInactiveGC, unbounded without; survivor fairness unaffected",
+		Run:   func(o Options) (fmt.Stringer, error) { return Churn(o) },
+	})
+}

@@ -32,7 +32,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ablation", "groups", "multilock", "pi", "ule", "table1", "table2",
+		"ablation", "churn", "groups", "multilock", "pi", "ule", "table1", "table2",
 		"fig5a", "fig5c", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13", "fig14",
 	}

@@ -14,16 +14,29 @@ type Reservoir struct {
 	cap     int
 	seen    int64
 	samples []time.Duration
+	seed    int64
 	rng     *rand.Rand
 }
 
 // NewReservoir returns a reservoir holding at most cap samples, drawing
-// replacement decisions from the given seed.
+// replacement decisions from the given seed. The RNG is materialized
+// lazily, on the first observation past capacity: seeding a math/rand
+// source costs microseconds and kilobytes, which dominates entity
+// registration in churny workloads, and a stream that never overflows
+// the reservoir never makes a replacement decision at all.
 func NewReservoir(cap int, seed int64) *Reservoir {
 	if cap <= 0 {
 		cap = 1
 	}
-	return &Reservoir{cap: cap, rng: rand.New(rand.NewSource(seed))}
+	return &Reservoir{cap: cap, seed: seed}
+}
+
+// rand returns the replacement RNG, seeding it on first use.
+func (r *Reservoir) rand() *rand.Rand {
+	if r.rng == nil {
+		r.rng = rand.New(rand.NewSource(r.seed))
+	}
+	return r.rng
 }
 
 // Add offers one observation to the reservoir.
@@ -33,7 +46,7 @@ func (r *Reservoir) Add(d time.Duration) {
 		r.samples = append(r.samples, d)
 		return
 	}
-	if i := r.rng.Int63n(r.seen); i < int64(r.cap) {
+	if i := r.rand().Int63n(r.seen); i < int64(r.cap) {
 		r.samples[i] = d
 	}
 }
@@ -59,14 +72,14 @@ func (r *Reservoir) AddN(d time.Duration, n int64) {
 	// cap·ln(after/before); round stochastically to stay unbiased.
 	expected := float64(r.cap) * math.Log(float64(r.seen)/float64(before))
 	k := int(expected)
-	if r.rng.Float64() < expected-float64(k) {
+	if r.rand().Float64() < expected-float64(k) {
 		k++
 	}
 	if k > r.cap {
 		k = r.cap
 	}
 	for i := 0; i < k; i++ {
-		r.samples[r.rng.Intn(len(r.samples))] = d
+		r.samples[r.rand().Intn(len(r.samples))] = d
 	}
 }
 

@@ -63,6 +63,7 @@ type Mutex struct {
 	mu        sync.Mutex // guards all fields below
 	acct      *core.Accountant
 	refs      map[core.ID]int // handles sharing each entity (Sibling)
+	nextReap  time.Duration   // earliest next inactive-entity sweep
 	fastSince time.Duration   // start of the open fast window (-1: none)
 	next      *waiter
 	parked    []*waiter
@@ -94,8 +95,12 @@ type waiter struct {
 	wake    chan struct{} // buffered(1): at most one pending signal
 }
 
-// NewMutex creates a Scheduler-Cooperative mutex.
-func NewMutex(opts Options) *Mutex {
+// NewMutex creates a Scheduler-Cooperative mutex. Any extra Options
+// (e.g. WithInactiveGC) are applied on top of opts.
+func NewMutex(opts Options, extra ...Option) *Mutex {
+	for _, fn := range extra {
+		fn(&opts)
+	}
 	m := &Mutex{
 		opts:   opts,
 		name:   opts.Name,
@@ -184,22 +189,174 @@ func (h *Handle) Sibling() *Handle {
 }
 
 // Close releases the handle; the entity is unregistered when its last
-// sibling closes. The Handle must not hold the lock.
+// sibling closes. The Handle must not hold the lock. Closing while an
+// operation of the entity is still in flight (a queued sibling, a hold
+// that was not released) does not corrupt the books: the unregistration
+// is deferred to the operation's completion, so no stale weight survives
+// in the accounting. Handles that are never closed are reclaimed by the
+// inactive-entity GC when WithInactiveGC is configured.
 func (h *Handle) Close() {
 	m := h.m
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.refs[h.id]--
-	if m.refs[h.id] <= 0 {
-		delete(m.refs, h.id)
-		now := monotime()
-		m.fold(now)
-		if owner, ok := m.acct.SliceOwner(); ok && owner == h.id {
-			m.fastSince = -1
-			m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
-		}
-		m.acct.Unregister(h.id)
+	if m.refs[h.id] > 0 {
+		return
 	}
-	m.mu.Unlock()
+	delete(m.refs, h.id)
+	now := monotime()
+	m.fold(now)
+	inFlight := m.acct.Holding(h.id) || m.entityQueued(h.id)
+	if w := m.word.Load(); !inFlight && w&wordHeld != 0 && w&wordOwner == ownerBits(h.id) {
+		// A fast-path hold is in flight (deferred accounting, so the
+		// accountant does not see it). Shut it out with the stale bit —
+		// its release then takes the slow path and observes the closed
+		// refcount — unless the release already landed.
+		w = m.mutate(func(x uint64) uint64 { return x | wordStale })
+		inFlight = w&wordHeld != 0
+	}
+	if inFlight {
+		// Unregistering now would let the in-flight operation re-register
+		// the entity with nobody left to remove it — a permanently stale
+		// weight. The final release (or abandonment) runs dropGhostLocked
+		// instead, converging to the same books.
+		return
+	}
+	owner, owned := m.acct.SliceOwner()
+	if owned && owner == h.id {
+		m.fastSince = -1
+		m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
+	}
+	m.acct.Unregister(h.id)
+	m.debugCheckBooks()
+	if owned && owner == h.id && m.next != nil &&
+		m.word.Load()&(wordHeld|wordTransfer) == 0 {
+		// The departing entity owned the slice with other entities'
+		// waiters queued behind it (waiting out the slice, not the lock).
+		// Its departure ends the slice; hand the free lock over now, or
+		// nobody ever will — the slice-end timer bails when no owner is
+		// left.
+		m.transferLocked(now)
+	}
+}
+
+// dropGhostLocked finishes an unregistration that Close deferred: once an
+// entity with no open handles has no operation in flight (not holding the
+// lock, not queued), its accounting state is removed so no stale weight
+// survives in totalWeight or grandUsage. m.mu held.
+func (m *Mutex) dropGhostLocked(id core.ID, now time.Duration) {
+	if _, open := m.refs[id]; open {
+		return
+	}
+	if !m.acct.Registered(id) || m.acct.Holding(id) || m.entityQueued(id) {
+		return
+	}
+	ownedSlice := false
+	if w := m.word.Load(); w&wordHeld == 0 && w&wordOwner == ownerBits(id) {
+		m.fold(now)
+		m.fastSince = -1
+		m.mutate(func(x uint64) uint64 { return x &^ (wordOwner | wordStale) })
+		ownedSlice = true
+	}
+	m.acct.Unregister(id)
+	m.debugCheckBooks()
+	if ownedSlice && m.next != nil &&
+		m.word.Load()&(wordHeld|wordTransfer) == 0 {
+		// Same as Close: the ghost owned the slice with other entities
+		// queued behind it; ending its slice must grant the lock onward.
+		m.transferLocked(now)
+	}
+}
+
+// entityQueued reports whether any waiter of entity id is queued. m.mu held.
+func (m *Mutex) entityQueued(id core.ID) bool {
+	if m.next != nil && m.next.h.id == id {
+		return true
+	}
+	for _, w := range m.parked {
+		if w.h.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// queuedIDs collects the entity IDs currently in the waiter queue (nil
+// when the queue is empty). m.mu held.
+func (m *Mutex) queuedIDs() map[core.ID]struct{} {
+	if m.next == nil && len(m.parked) == 0 {
+		return nil
+	}
+	q := make(map[core.ID]struct{}, len(m.parked)+1)
+	if m.next != nil {
+		q[m.next.h.id] = struct{}{}
+	}
+	for _, w := range m.parked {
+		q[w.h.id] = struct{}{}
+	}
+	return q
+}
+
+// maybeReap runs the inactive-entity GC (WithInactiveGC; the paper's
+// k-SCL reaps per-thread state idle longer than 1s, §4.4). It is lazy —
+// piggybacked on slice boundaries and Stats snapshots, no background
+// goroutine — and rate-limited to once per quarter threshold, so the
+// amortized cost per lock operation is O(1). The accountant drops
+// entities idle past the threshold (never holders, the slice owner,
+// banned entities, or queued waiters); their sibling refcounts and
+// per-entity stats go with them, so all three maps stay proportional to
+// the active set. Residual stats of entities that departed via Close are
+// swept on the same schedule (with GC off they are kept forever for
+// post-run reporting). m.mu held.
+func (m *Mutex) maybeReap(now time.Duration) {
+	if m.opts.InactiveTimeout <= 0 || now < m.nextReap {
+		return
+	}
+	m.nextReap = now + m.opts.InactiveTimeout/4
+	queued := m.queuedIDs()
+	reaped := m.acct.ExpireInactive(now, func(id core.ID) bool {
+		_, ok := queued[id]
+		return ok
+	})
+	t := m.loadTracer()
+	for _, r := range reaped {
+		delete(m.refs, r.ID)
+		name := m.stats.onReap(int64(r.ID), now)
+		if t != nil {
+			t.OnReap(m.event(trace.KindReap, now, r.ID, name, r.Idle))
+		}
+	}
+	for id, e := range m.stats.entities {
+		cid := core.ID(id)
+		if e.active != 0 || now-e.settledAt < m.opts.InactiveTimeout ||
+			m.acct.Registered(cid) {
+			continue
+		}
+		if _, ok := queued[cid]; ok {
+			continue
+		}
+		idle := now - e.settledAt
+		name := m.stats.onReap(id, now)
+		if t != nil {
+			t.OnReap(m.event(trace.KindReap, now, cid, name, idle))
+		}
+	}
+	if len(reaped) > 0 {
+		m.debugCheckBooks()
+	}
+}
+
+// debugCheckBooks validates the accountant's bookkeeping invariants under
+// the scldebug build tag (compiled out otherwise). Every unregistration
+// path — Close, ghost drop, reap — must leave totalWeight and grandUsage
+// equal to the sums over the remaining entities.
+func (m *Mutex) debugCheckBooks() {
+	if !debugChecks {
+		return
+	}
+	if err := m.acct.CheckInvariants(); err != nil {
+		debugFail(err.Error())
+	}
 }
 
 // SetName attaches a label (used by the stats helpers).
@@ -414,6 +571,7 @@ func (m *Mutex) abandon(w *waiter, reqAt time.Duration) {
 	}
 	m.syncWaitersBit()
 	m.noteAbandonLocked(w.h, now, reqAt)
+	m.dropGhostLocked(w.h.id, now)
 }
 
 // regrantLocked re-routes an in-flight grant whose grantee w abandoned:
@@ -570,7 +728,15 @@ func (m *Mutex) acquireLocked(h *Handle, now, reqAt time.Duration) {
 	m.fastHeld = false
 	m.csStart = 0
 	if !m.acct.Registered(h.id) {
+		// A reaped (or never-registered) entity returning: re-register
+		// through the join-credit floor — going idle does not launder
+		// accumulated usage beyond JoinCredit. Restore the refcount entry
+		// the reap dropped, so Close and the ghost-drop logic keep seeing
+		// this entity as open.
 		m.acct.Register(h.id, h.weight, now)
+		if _, ok := m.refs[h.id]; !ok {
+			m.refs[h.id] = 1
+		}
 	}
 	wait := now - reqAt
 	if wait < 0 {
@@ -716,8 +882,13 @@ func (h *Handle) Unlock() {
 	if rel.Penalty > 0 {
 		m.stats.onBan(int64(h.id), rel.Penalty)
 	}
-	if m.opts.InactiveTimeout > 0 {
-		m.acct.Expire(now)
+	if _, open := m.refs[h.id]; !open && !m.entityQueued(h.id) {
+		// Closed while this hold was in flight: finish the deferred
+		// unregistration and run the boundary — there is no owner left to
+		// keep the slice for.
+		m.dropGhostLocked(h.id, now)
+		m.transferLocked(now)
+		return
 	}
 	if !rel.SliceExpired {
 		// Work-conserving groups (paper §6): a queued sibling of the
@@ -745,6 +916,7 @@ func (h *Handle) Unlock() {
 		m.armSliceEnd()
 		return
 	}
+	m.maybeReap(now)
 	m.transferLocked(now)
 }
 
@@ -781,8 +953,12 @@ func (m *Mutex) transferLocked(now time.Duration) {
 	m.fold(now)
 	m.fastSince = -1
 	if m.next == nil {
+		owner, owned := m.acct.SliceOwner()
 		m.acct.ClearSlice()
 		m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
+		if owned {
+			m.dropGhostLocked(owner, now)
+		}
 		return
 	}
 	if w2 := m.mutate(func(w uint64) uint64 { return w | wordTransfer }); debugChecks && w2&wordHeld != 0 {
@@ -816,6 +992,7 @@ func (m *Mutex) endIdleSliceLocked(now time.Duration) bool {
 	}
 	m.acct.ClearSlice()
 	m.mutate(func(w uint64) uint64 { return w &^ (wordOwner | wordStale) })
+	m.dropGhostLocked(owner, now)
 	return true
 }
 
@@ -857,8 +1034,15 @@ func (m *Mutex) onSliceTimer() {
 	defer m.mu.Unlock()
 	m.timerAt = -1 // consumed; the next armSliceEnd must re-arm
 	now := monotime()
+	m.maybeReap(now)
 	owner, ok := m.acct.SliceOwner()
 	if !ok {
+		// Backstop: an ownerless free lock with waiters is a stranded
+		// transfer (the owner departed via Close or the GC between this
+		// timer's arming and firing); grant it rather than strand them.
+		if m.next != nil && m.word.Load()&(wordHeld|wordTransfer) == 0 {
+			m.transferLocked(now)
+		}
 		return
 	}
 	if !m.acct.SliceExpired(now) {
@@ -895,13 +1079,27 @@ func (m *Mutex) onSliceTimer() {
 
 // Stats returns a snapshot of per-entity hold times and the lock's idle
 // time, for fairness reporting. Pending fast-path accounting is folded in
-// first, so snapshots are exact up to any operation in flight.
+// first, so snapshots are exact up to any operation in flight. With
+// WithInactiveGC configured, taking a snapshot also gives the lazy
+// inactive-entity GC a chance to run.
 func (m *Mutex) Stats() StatsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := monotime()
 	m.fold(now)
-	return m.stats.snapshot(now)
+	m.maybeReap(now)
+	snap := m.stats.snapshot(now)
+	snap.Registered = m.acct.Len()
+	return snap
+}
+
+// Entities returns the number of entities currently registered in the
+// lock's accounting. With WithInactiveGC this tracks the active set
+// rather than every entity that ever registered.
+func (m *Mutex) Entities() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acct.Len()
 }
 
 var _ sync.Locker = (*Handle)(nil)

@@ -67,3 +67,21 @@ func TestHandleNameRoundtrip(t *testing.T) {
 		t.Fatal("sibling does not inherit identity")
 	}
 }
+
+func TestFunctionalOptions(t *testing.T) {
+	// Functional options compose with (and override) the Options struct.
+	m := NewMutex(Options{Name: "struct"}, WithName("functional"), WithInactiveGC(time.Minute))
+	if got := m.Name(); got != "functional" {
+		t.Errorf("Name = %q, want the WithName override", got)
+	}
+	if got := m.opts.InactiveTimeout; got != time.Minute {
+		t.Errorf("InactiveTimeout = %v, want 1m from WithInactiveGC", got)
+	}
+	rw := NewRWLock(1, 1, 0, WithName("rw"), WithInactiveGC(time.Second))
+	if got := rw.Name(); got != "rw" {
+		t.Errorf("RWLock Name = %q, want rw", got)
+	}
+	if got := rw.inactive; got != time.Second {
+		t.Errorf("RWLock inactive = %v, want 1s from WithInactiveGC", got)
+	}
+}

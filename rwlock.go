@@ -52,6 +52,12 @@ type RWLock struct {
 	waitR []rwWaiter
 	waitW []rwWaiter
 
+	// inactive (WithInactiveGC) bounds how long empty waiter slabs retain
+	// their grown capacity; emptySince is when both queues last drained
+	// (-1: not currently empty, or already released).
+	inactive   time.Duration
+	emptySince time.Duration
+
 	// One reusable timer drives phase-end re-evaluation; re-arming per
 	// operation would spawn a goroutine per firing (time.AfterFunc), which
 	// dominates runtime under load.
@@ -99,10 +105,23 @@ type rwWaiter struct {
 	since time.Duration
 }
 
+// rwQueueKeep is the combined waiter-slab capacity an RWLock keeps even
+// when WithInactiveGC releases idle queue memory: re-growing tiny slabs
+// is cheaper than the churn of freeing them.
+const rwQueueKeep = 16
+
 // NewRWLock creates an RW-SCL with the given class weights (e.g. 9 and 1)
 // and slice period (0 = the 2ms default, split between the classes in
-// weight proportion).
-func NewRWLock(readWeight, writeWeight int64, period time.Duration) *RWLock {
+// weight proportion). Options may set a name (WithName), a tracer, or
+// idle-memory bounding (WithInactiveGC): an RW-SCL accounts per class
+// rather than per entity, so there is no entity state to reap — the GC
+// threshold instead bounds how long the waiter queues' grown backing
+// arrays outlive the contention burst that grew them.
+func NewRWLock(readWeight, writeWeight int64, period time.Duration, opts ...Option) *RWLock {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
 	now := monotime()
 	l := &RWLock{
 		ctrl: core.NewRWController(core.RWParams{
@@ -110,10 +129,17 @@ func NewRWLock(readWeight, writeWeight int64, period time.Duration) *RWLock {
 			ReadWeight:  readWeight,
 			WriteWeight: writeWeight,
 		}),
+		name:       o.Name,
+		inactive:   o.InactiveTimeout,
+		emptySince: -1,
 		createdAt:  now,
 		phaseStart: now,
 	}
 	l.lastAt.Store(int64(now))
+	if o.Tracer != nil {
+		t := o.Tracer
+		l.tracer.Store(&t)
+	}
 	return l
 }
 
@@ -555,6 +581,35 @@ func (l *RWLock) advanceLocked(now time.Duration) {
 	}
 	l.grantLocked(now)
 	l.armPhaseTimer()
+	l.maybeReleaseQueues(now)
+}
+
+// maybeReleaseQueues bounds waiter-slab memory under WithInactiveGC: an
+// RW-SCL has no per-entity state to reap (the class is the schedulable
+// entity), so the GC analogue is returning the waiter queues' grown
+// backing arrays to the allocator once both queues have sat empty past
+// the threshold — a contention burst no longer pins its high-water-mark
+// capacity forever. l.mu held.
+func (l *RWLock) maybeReleaseQueues(now time.Duration) {
+	if l.inactive <= 0 {
+		return
+	}
+	if len(l.waitR) != 0 || len(l.waitW) != 0 {
+		l.emptySince = -1
+		return
+	}
+	if cap(l.waitR)+cap(l.waitW) <= rwQueueKeep {
+		return
+	}
+	if l.emptySince < 0 {
+		l.emptySince = now
+		return
+	}
+	if now-l.emptySince >= l.inactive {
+		l.waitR = nil
+		l.waitW = nil
+		l.emptySince = -1
+	}
 }
 
 // classEntered restarts the slice clock on the first acquisition of a
@@ -684,6 +739,9 @@ func (l *RWLock) Stats() RWStats {
 	defer l.mu.Unlock()
 	now := monotime()
 	l.charge(l.word.Load(), now)
+	// Like Mutex.Stats, snapshots give the lazy idle-memory release a
+	// chance to run even when the lock has gone quiet.
+	l.maybeReleaseQueues(now)
 	return RWStats{
 		ReaderHold:    time.Duration(l.readerHold.Load()),
 		WriterHold:    time.Duration(l.writerHold.Load()),

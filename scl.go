@@ -30,6 +30,32 @@ type Options struct {
 	Tracer Tracer
 }
 
+// Option is a functional override applied on top of an Options value
+// (NewMutex) or the constructor defaults (NewRWLock).
+type Option func(*Options)
+
+// WithInactiveGC enables inactive-entity garbage collection with the
+// given threshold (the paper's k-SCL reaps per-thread state idle longer
+// than 1s, §4.4). On a Mutex, entities that have not touched the lock for
+// the threshold are unregistered lazily — piggybacked on slice boundaries
+// and Stats snapshots, no background goroutine — so the accountant, the
+// sibling refcounts, and the per-entity stats stay proportional to the
+// active set; a reaped entity that returns re-registers through the
+// join-credit floor, so it cannot launder a ban by going idle (still-
+// banned entities are never reaped). On an RWLock, which accounts per
+// class rather than per entity, the threshold instead bounds how long
+// empty waiter-queue slabs retain their grown capacity. A non-positive
+// threshold disables the GC (the default).
+func WithInactiveGC(threshold time.Duration) Option {
+	return func(o *Options) { o.InactiveTimeout = threshold }
+}
+
+// WithName labels the lock in trace events and metrics export (the Option
+// form of Options.Name, for constructors that take no Options struct).
+func WithName(name string) Option {
+	return func(o *Options) { o.Name = name }
+}
+
 func (o Options) sliceLen() time.Duration {
 	if o.Slice < 0 {
 		return 0

@@ -22,11 +22,13 @@ const distCap = 512
 // group — are credited every concurrent hold, not just the last one to
 // acquire (the bug the map-of-start-times version had).
 type lockStats struct {
-	holders   int
-	idleStart time.Duration
-	idle      time.Duration
-	started   time.Duration
-	entities  map[int64]*entityStats
+	holders    int
+	idleStart  time.Duration
+	idle       time.Duration
+	started    time.Duration
+	entities   map[int64]*entityStats
+	reaped     int64         // entities removed by the inactive-entity GC
+	reapedHold time.Duration // hold time they had accumulated
 }
 
 type entityStats struct {
@@ -158,6 +160,25 @@ func (s *lockStats) onAbandon(id int64, name string) {
 	e.cancels++
 }
 
+// onReap removes an entity's stats entry (the inactive-entity GC reaped
+// it, or its residual entry after Close aged out). The entity's hold time
+// folds into the reaped aggregate so lock-level totals stay meaningful;
+// per-entity history (distributions, bans) is dropped with the entry —
+// that is the point of the GC. Returns the entity's label for the reap
+// event. A missing entry (reaped before its first op landed) is counted
+// but contributes nothing.
+func (s *lockStats) onReap(id int64, now time.Duration) string {
+	s.reaped++
+	e, ok := s.entities[id]
+	if !ok {
+		return ""
+	}
+	e.settle(now)
+	s.reapedHold += e.hold
+	delete(s.entities, id)
+	return e.name
+}
+
 func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 	n := len(s.entities)
 	snap := StatsSnapshot{
@@ -172,6 +193,8 @@ func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 		WaitDist:     make(map[int64]metrics.Summary, n),
 		Idle:         s.idle,
 		Elapsed:      now - s.started,
+		Reaped:       s.reaped,
+		ReapedHold:   s.reapedHold,
 	}
 	for id, e := range s.entities {
 		hold := e.hold
@@ -224,6 +247,17 @@ type StatsSnapshot struct {
 	Idle time.Duration
 	// Elapsed is the time since the lock was created.
 	Elapsed time.Duration
+	// Registered is the number of entities currently registered in the
+	// lock's accounting. With WithInactiveGC this tracks the active set;
+	// the per-entity maps above may hold fewer entries than entities ever
+	// seen (reaped entities are dropped from them).
+	Registered int
+	// Reaped counts entities removed by the inactive-entity GC
+	// (WithInactiveGC) since the lock was created; ReapedHold is the hold
+	// time they had accumulated, kept so lock-level hold totals remain
+	// meaningful after their per-entity entries are gone.
+	Reaped     int64
+	ReapedHold time.Duration
 }
 
 // LOT returns the entity's lock opportunity time (paper eq. 1): its own

@@ -32,6 +32,10 @@ type EntityTotals struct {
 	// attempts had waited before abandoning.
 	Abandons    int64
 	AbandonWait time.Duration
+	// Reaps counts inactive-entity GC removals of this entity
+	// (scl.WithInactiveGC): distinct idle periods after which its
+	// accounting state was dropped and later re-created on return.
+	Reaps int64
 }
 
 // LockTotals aggregates one lock's event stream.
@@ -145,6 +149,8 @@ func Aggregate(evs []Event) []*LockTotals {
 		case KindAbandon:
 			e.Abandons++
 			e.AbandonWait += ev.Detail
+		case KindReap:
+			e.Reaps++
 		}
 	}
 	out := make([]*LockTotals, 0, len(locks))

@@ -84,7 +84,7 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// The six scl.Tracer hooks: a Ring records every kind.
+// The scl.Tracer hooks: a Ring records every kind.
 
 // OnAcquire implements scl.Tracer.
 func (r *Ring) OnAcquire(ev Event) { r.Record(ev) }
@@ -103,3 +103,6 @@ func (r *Ring) OnHandoff(ev Event) { r.Record(ev) }
 
 // OnAbandon implements scl.Tracer.
 func (r *Ring) OnAbandon(ev Event) { r.Record(ev) }
+
+// OnReap implements scl.Tracer.
+func (r *Ring) OnReap(ev Event) { r.Record(ev) }

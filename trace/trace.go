@@ -46,6 +46,12 @@ const (
 	// attempt had waited before abandoning. No usage is charged and no
 	// matching release follows.
 	KindAbandon Kind = "abandon"
+	// KindReap: the inactive-entity GC (scl.WithInactiveGC; the paper's
+	// k-SCL §4.4) removed the entity's accounting state after it went
+	// idle longer than the configured threshold. Detail is how long the
+	// entity had been idle when reaped. If the entity returns it
+	// re-registers through the join-credit floor.
+	KindReap Kind = "reap"
 )
 
 // Event is one structured lock event. Events carry process-local
@@ -105,6 +111,8 @@ func (ev Event) String() string {
 		fmt.Fprintf(&b, "  used %v", ev.Detail)
 	case KindAbandon:
 		fmt.Fprintf(&b, "  gave up after %v", ev.Detail)
+	case KindReap:
+		fmt.Fprintf(&b, "  reaped after %v idle", ev.Detail)
 	case KindAcquire:
 		if ev.Detail > 0 {
 			fmt.Fprintf(&b, "  waited %v", ev.Detail)

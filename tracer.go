@@ -44,6 +44,13 @@ type Tracer interface {
 	// Detail is the time the attempt had waited. No usage was charged
 	// and no matching release event follows.
 	OnAbandon(trace.Event)
+	// OnReap fires when the inactive-entity GC (WithInactiveGC; the
+	// paper's k-SCL §4.4) removes an entity's accounting state after it
+	// went idle longer than the configured threshold. Detail is how long
+	// the entity had been idle. If the entity returns, it re-registers
+	// through the join-credit floor (a fresh OnAcquire follows; no event
+	// marks the re-registration itself).
+	OnReap(trace.Event)
 }
 
 // event assembles a trace.Event for this lock.
