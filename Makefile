@@ -5,12 +5,21 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-debug review-gate docs-check bench bench-all
+.PHONY: check build build-matrix vet test race race-debug review-gate docs-check check-explore oracle bench bench-all
 
-check: build vet race race-debug review-gate docs-check
+check: build build-matrix vet race race-debug review-gate docs-check
 
 build:
 	$(GO) build ./...
+
+# Both sides of the scldebug build matrix: the release build (invariant
+# assertions compiled away, scldebug_off.go) and the debug build (live
+# panics, scldebug_on.go) must always compile. Catches assertions that
+# reference release-stripped symbols and vice versa.
+build-matrix:
+	$(GO) build ./...
+	$(GO) build -tags scldebug ./...
+	$(GO) vet -tags scldebug ./...
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +55,18 @@ docs-check:
 # whose first entry is the pre-fast-path baseline.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_scl.json
+	$(GO) run ./cmd/benchjson -compare BENCH_scl.json
+
+# Deterministic schedule exploration of the real locks (internal/check)
+# on a CI-sized budget; `go test ./internal/check` without -short runs
+# the full 10k+-schedule acceptance budget. Failures print a seed,
+# replayable with `go run ./cmd/sclcheck -mode replay -seed N`.
+check-explore:
+	$(GO) test -short -count=1 ./internal/check/...
+
+# The sim-vs-real differential oracle over the curated scripts.
+oracle:
+	$(GO) run ./cmd/sclcheck -mode oracle
 
 # The full benchmark suite across every package (simulator experiments
 # included); slow, and not recorded in the trajectory.

@@ -1,0 +1,66 @@
+package scl
+
+import (
+	"sync"
+	"time"
+
+	"scl/internal/check"
+)
+
+// This file is the locks' seam to the deterministic checker
+// (internal/check). In normal operation every helper here degrades to
+// the ordinary primitive at the cost of one atomic nil-check (the same
+// always-compiled pattern as the Tracer hook — a build tag cannot gate
+// these, because `go test ./internal/check` must explore the untagged
+// build everyone actually runs). Under an installed check scheduler
+// (tests only) the helpers reroute: internal mutexes become
+// scheduler-managed resources, the slice/phase timers run on the
+// virtual clock, and blocking waits become predicate parks the explorer
+// can reorder.
+//
+// A lock instance must live entirely on one side of the seam: created
+// and used under an installed scheduler, or created and used without
+// one. Mixing (arming a real timer, then resetting it with virtual
+// delays) is not supported and is prevented by construction in the
+// checker's workloads, which build a fresh lock per explored schedule.
+
+// lockTimer abstracts the one-shot slice/phase timers so the checker
+// can substitute virtual-clock timers for time.AfterFunc. Both
+// *time.Timer and *check.Timer satisfy it.
+type lockTimer interface {
+	Reset(d time.Duration) bool
+	Stop() bool
+}
+
+// startLockTimer arms a one-shot timer calling f after d: a virtual
+// timer under an installed check scheduler, time.AfterFunc otherwise.
+func startLockTimer(d time.Duration, f func()) lockTimer {
+	if t, ok := check.AfterFunc(d, f); ok {
+		return t
+	}
+	return time.AfterFunc(d, f)
+}
+
+// lockMutex acquires a lock-internal mutex through the checker hook:
+// under an installed scheduler the scheduler itself provides exclusion
+// (and models the acquisition as a schedule point); otherwise the real
+// mutex is taken.
+func lockMutex(mu *sync.Mutex) {
+	if !check.LockMutex(mu) {
+		mu.Lock()
+	}
+}
+
+// unlockMutex releases what lockMutex acquired; the two always resolve
+// to the same side of the seam within one critical section.
+func unlockMutex(mu *sync.Mutex) {
+	if !check.UnlockMutex(mu) {
+		mu.Unlock()
+	}
+}
+
+func (m *Mutex) lockMu()   { lockMutex(&m.mu) }
+func (m *Mutex) unlockMu() { unlockMutex(&m.mu) }
+
+func (l *RWLock) lockMu()   { lockMutex(&l.mu) }
+func (l *RWLock) unlockMu() { unlockMutex(&l.mu) }

@@ -12,6 +12,14 @@
 // The first run in the repository's checked-in file is the pre-fast-path
 // baseline; `make bench` appends the current numbers, growing the
 // performance trajectory over time.
+//
+// With -compare the command instead reads an existing trajectory and
+// gates on it: the newest run is checked against the one before it, and
+// the exit status is non-zero when any benchmark present in both
+// regressed its ns/op by more than -threshold percent (default 20).
+// `make bench` runs the gate right after appending:
+//
+//	benchjson -compare BENCH_scl.json
 package main
 
 import (
@@ -59,7 +67,16 @@ func main() {
 	out := flag.String("out", "BENCH_scl.json", "trajectory file to append to")
 	label := flag.String("label", "", "label for this run")
 	pkg := flag.String("pkg", "scl", "package name recorded in a fresh file")
+	compare := flag.String("compare", "", "regression mode: compare the file's last run against the previous one instead of reading stdin")
+	threshold := flag.Float64("threshold", 20, "ns/op regression percentage that fails -compare")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := runCompare(*compare, *threshold); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	run := Run{Date: time.Now().UTC().Format(time.RFC3339), Label: *label}
 	sc := bufio.NewScanner(os.Stdin)
@@ -115,6 +132,53 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: appended %d results to %s (%d runs)\n",
 		len(run.Results), *out, len(f.Runs))
+}
+
+// runCompare checks the trajectory's newest run against the run before
+// it and fails when any benchmark present in both regressed its ns/op
+// by more than threshold percent. Benchmarks that appear on only one
+// side are reported but never fail the gate (added or retired
+// benchmarks are not regressions).
+func runCompare(path string, threshold float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(f.Runs) < 2 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has %d run(s); nothing to compare\n", path, len(f.Runs))
+		return nil
+	}
+	prev, cur := f.Runs[len(f.Runs)-2], f.Runs[len(f.Runs)-1]
+	base := make(map[string]float64, len(prev.Results))
+	for _, r := range prev.Results {
+		base[r.Name] = r.NsPerOp
+	}
+	var regressions []string
+	for _, r := range cur.Results {
+		old, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-50s %12.1f ns/op  (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = (r.NsPerOp - old) / old * 100
+		}
+		fmt.Printf("%-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n", r.Name, old, r.NsPerOp, delta)
+		if delta > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)", r.Name, old, r.NsPerOp, delta, threshold))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
+			len(regressions), threshold, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% (%s vs %s)\n", threshold, cur.Date, prev.Date)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,164 @@
+package check
+
+import "math/rand"
+
+// Choice describes one enabled goroutine offered to a Chooser: its
+// stable id (registration order) and the schedule point it would run
+// from.
+type Choice struct {
+	G     int
+	Point string
+}
+
+// Chooser picks the next goroutine to run among the enabled set. Next
+// is called only when more than one goroutine is enabled; step is the
+// global step index. Implementations must be deterministic functions of
+// their construction parameters and the call sequence, so a seed
+// replays a schedule exactly.
+type Chooser interface {
+	Next(step int, cands []Choice) int
+}
+
+// randomChooser picks uniformly at random — the baseline explorer.
+type randomChooser struct{ rng *rand.Rand }
+
+// NewRandomChooser returns a uniform random chooser seeded with seed.
+func NewRandomChooser(seed int64) Chooser {
+	return &randomChooser{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *randomChooser) Next(_ int, cands []Choice) int { return c.rng.Intn(len(cands)) }
+
+// pctChooser implements PCT-style exploration (Burckhardt et al., "A
+// Randomized Scheduler with Probabilistic Guarantees of Finding Bugs"):
+// each goroutine gets a random priority, the highest-priority enabled
+// goroutine always runs, and at d randomly chosen change points the
+// running choice is demoted below everyone else. For a bug of depth d
+// this finds it with probability >= 1/(n * k^(d-1)) per run, which in
+// practice surfaces rare orderings far faster than uniform choice.
+type pctChooser struct {
+	rng     *rand.Rand
+	prio    map[int]int
+	low     int
+	changes map[int]struct{}
+	calls   int
+}
+
+// NewPCTChooser returns a PCT chooser with depth d change points spread
+// over an assumed horizon of horizon choice steps (<= 0 selects 512).
+func NewPCTChooser(seed int64, d, horizon int) Chooser {
+	if horizon <= 0 {
+		horizon = 512
+	}
+	rng := rand.New(rand.NewSource(seed))
+	changes := make(map[int]struct{}, d)
+	for i := 0; i < d; i++ {
+		changes[rng.Intn(horizon)] = struct{}{}
+	}
+	return &pctChooser{
+		rng:     rng,
+		prio:    make(map[int]int),
+		low:     -1,
+		changes: changes,
+	}
+}
+
+func (c *pctChooser) Next(_ int, cands []Choice) int {
+	best := 0
+	bestPrio := c.prioOf(cands[0].G)
+	for i := 1; i < len(cands); i++ {
+		if p := c.prioOf(cands[i].G); p > bestPrio {
+			best, bestPrio = i, p
+		}
+	}
+	if _, isChange := c.changes[c.calls]; isChange {
+		// Demote the current winner below every priority ever issued and
+		// re-pick, flipping the order at this point in the schedule.
+		c.prio[cands[best].G] = c.low
+		c.low--
+		best = 0
+		bestPrio = c.prioOf(cands[0].G)
+		for i := 1; i < len(cands); i++ {
+			if p := c.prioOf(cands[i].G); p > bestPrio {
+				best, bestPrio = i, p
+			}
+		}
+	}
+	c.calls++
+	return best
+}
+
+// prioOf lazily assigns a random positive priority the first time a
+// goroutine appears (goroutines spawned mid-run — timers, helpers —
+// are first seen in deterministic order, so assignment replays).
+func (c *pctChooser) prioOf(g int) int {
+	p, ok := c.prio[g]
+	if !ok {
+		p = 1 + c.rng.Intn(1<<20)
+		c.prio[g] = p
+	}
+	return p
+}
+
+// dfsNode records one branching decision of the current DFS run.
+type dfsNode struct {
+	chosen int
+	width  int
+}
+
+// dfsChooser enumerates schedules exhaustively up to a branching-depth
+// bound: each run follows a forced prefix then takes the first enabled
+// choice; after the run the deepest prefix node with an untried
+// alternative advances. Complete for schedules whose branching decisions
+// all fall within depth; beyond the bound the first choice is taken.
+type dfsChooser struct {
+	depth  int
+	prefix []int
+	path   []dfsNode
+}
+
+func newDFSChooser(depth int) *dfsChooser { return &dfsChooser{depth: depth} }
+
+func (c *dfsChooser) Next(_ int, cands []Choice) int {
+	i := len(c.path)
+	pick := 0
+	if i < len(c.prefix) {
+		pick = c.prefix[i]
+		if pick >= len(cands) {
+			pick = len(cands) - 1
+		}
+	}
+	c.path = append(c.path, dfsNode{chosen: pick, width: len(cands)})
+	return pick
+}
+
+// advance moves to the next unexplored branch, returning false when the
+// bounded space is exhausted. Call between runs.
+func (c *dfsChooser) advance() bool {
+	for i := len(c.path) - 1; i >= 0; i-- {
+		if i >= c.depth {
+			continue
+		}
+		n := c.path[i]
+		if n.chosen+1 < n.width {
+			prefix := make([]int, i+1)
+			for j := 0; j < i; j++ {
+				prefix[j] = c.path[j].chosen
+			}
+			prefix[i] = n.chosen + 1
+			c.prefix = prefix
+			c.path = c.path[:0]
+			return true
+		}
+	}
+	return false
+}
+
+// firstChooser always picks the first (lowest-id) enabled goroutine —
+// the deterministic "FIFO" schedule the differential oracle runs under.
+type firstChooser struct{}
+
+// NewFirstChooser returns the deterministic first-enabled chooser.
+func NewFirstChooser() Chooser { return firstChooser{} }
+
+func (firstChooser) Next(_ int, _ []Choice) int { return 0 }

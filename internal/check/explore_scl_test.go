@@ -1,0 +1,181 @@
+// Exploration tests running the real scl locks under the deterministic
+// scheduler. They live in package check_test (not check) because they
+// import scl, which imports check.
+//
+// Replaying a failure: every failure prints a seed; reproduce it
+// one-shot with
+//
+//	go test ./internal/check -run TestExplore -check.seed=<seed> -check.workload=<name>
+package check_test
+
+import (
+	"flag"
+	"testing"
+
+	"scl/internal/check"
+	"scl/internal/check/workloads"
+)
+
+var (
+	seedFlag = flag.Int64("check.seed", 0,
+		"replay this schedule seed against the selected workload instead of exploring")
+	workloadFlag = flag.String("check.workload", "mutex-churn",
+		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn")
+	schedulesFlag = flag.Int("check.schedules", 0,
+		"override the exploration budget (number of schedules)")
+)
+
+// namedWorkload returns the workload a -check.seed replay targets.
+func namedWorkload(t *testing.T, name string) check.Workload {
+	switch name {
+	case "mutex-churn":
+		return workloads.MutexChurn(workloads.MutexOpts{Seed: 1, Cancel: true, CloseMid: true})
+	case "mutex-contend":
+		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
+	case "rw-churn":
+		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
+	default:
+		t.Fatalf("unknown -check.workload %q", name)
+		return check.Workload{}
+	}
+}
+
+// replayIfRequested handles -check.seed: a single deterministic run of
+// the requested schedule. Returns true if it ran (the test is done).
+func replayIfRequested(t *testing.T) bool {
+	if *seedFlag == 0 {
+		return false
+	}
+	w := namedWorkload(t, *workloadFlag)
+	if f := check.Replay(check.Opts{}, w, *seedFlag); f != nil {
+		t.Fatalf("replayed failure:\n%v", f)
+	}
+	t.Logf("seed %d replayed clean against %s", *seedFlag, *workloadFlag)
+	return true
+}
+
+// TestExploreMutexChurn is the issue's acceptance workload: 3 entities
+// running a lock/cancel/close mix. The full run explores enough
+// randomized schedules to clear 10k distinct signatures; -short (CI
+// race builds) keeps a smaller budget.
+func TestExploreMutexChurn(t *testing.T) {
+	if replayIfRequested(t) {
+		return
+	}
+	w := workloads.MutexChurn(workloads.MutexOpts{Seed: 1, Cancel: true, CloseMid: true})
+	n := 11000
+	want := 10000
+	if testing.Short() {
+		n, want = 1200, 600
+	}
+	if *schedulesFlag > 0 {
+		n, want = *schedulesFlag, 0
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 1, Mode: "random"}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules, %d total steps", sum.Runs, sum.Distinct, sum.Steps)
+	if sum.Distinct < want {
+		t.Fatalf("only %d distinct schedules in %d runs (want >= %d)", sum.Distinct, sum.Runs, want)
+	}
+}
+
+// TestExploreMutexChurnPCT hunts bugs with PCT-style priority
+// schedules, which concentrate probability on rare orderings (depth-3
+// races) rather than maximizing schedule diversity.
+func TestExploreMutexChurnPCT(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexChurn(workloads.MutexOpts{Seed: 2, Cancel: true, CloseMid: true, GC: true})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 2, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreMutexContend asserts the opportunity-imbalance bound on
+// every explored schedule of an equal-weight contention workload.
+func TestExploreMutexContend(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexContend(workloads.ContendOpts{Seed: 3})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 3, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreRWChurn drives the RW-SCL through reader/writer churn with
+// cancellations.
+func TestExploreRWChurn(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.RWChurn(workloads.RWOpts{Seed: 4, Cancel: true})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 4, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreMutexDFS enumerates a small two-entity scenario
+// exhaustively within a branching-depth bound — the small-bounds
+// counterpart to the randomized modes.
+func TestExploreMutexDFS(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexContend(workloads.ContendOpts{Entities: 2, Ops: 2, Seed: 5})
+	max := 1500
+	if testing.Short() {
+		max = 300
+	}
+	sum := check.ExploreDFS(check.DFSOpts{Depth: 10, MaxRuns: max}, w)
+	if sum.Failure != nil {
+		t.Fatalf("DFS exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestSchedDeterminism: one seed must produce bit-identical schedule
+// signatures across repeated runs of the real-lock workload — the
+// property seed replay rests on.
+func TestSchedDeterminism(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexChurn(workloads.MutexOpts{Seed: 6, Cancel: true, CloseMid: true})
+	run := func() uint64 {
+		s := check.NewSched(check.NewRandomChooser(99), 0)
+		check.Install(s)
+		defer check.Uninstall(s)
+		w.Setup(s)
+		res := s.Run()
+		if res.Failure != nil {
+			t.Fatalf("failure: %v", res.Failure)
+		}
+		return res.Sig
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules: %x vs %x", a, b)
+	}
+}

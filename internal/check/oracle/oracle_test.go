@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"testing"
+
+	"scl/sim"
+)
+
+// TestOracleCases runs every curated script through the simulator and
+// the real lock and requires zero undocumented divergences.
+func TestOracleCases(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			allowed, undocumented, err := c.Run()
+			if err != nil {
+				t.Fatalf("oracle run: %v", err)
+			}
+			for _, d := range allowed {
+				t.Logf("documented divergence: %v", d)
+			}
+			for _, d := range undocumented {
+				t.Errorf("undocumented divergence: %v", d)
+			}
+		})
+	}
+}
+
+// TestOracleRWCases runs the reader/writer scripts through the
+// simulated and real RW-SCL and requires zero undocumented divergences.
+func TestOracleRWCases(t *testing.T) {
+	for _, c := range RWCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			if r := sim.RunRWScript(c.Script); len(r.Grants) == 0 {
+				t.Fatalf("RW script grants nothing; the comparison would be vacuous")
+			}
+			allowed, undocumented, err := c.Run()
+			if err != nil {
+				t.Fatalf("oracle run: %v", err)
+			}
+			for _, d := range allowed {
+				t.Logf("documented divergence: %v", d)
+			}
+			for _, d := range undocumented {
+				t.Errorf("undocumented divergence: %v", d)
+			}
+		})
+	}
+}
+
+// TestOracleSidesObserve sanity-checks that the scripts exercise what
+// they claim: the ban case bans, the cancel case times out.
+func TestOracleSidesObserve(t *testing.T) {
+	for _, c := range Cases() {
+		switch c.Name {
+		case "ban":
+			r := RunSim(c.Script)
+			if r.Bans[0] == 0 {
+				t.Errorf("ban script imposed no bans on the hog: %v", r)
+			}
+		case "cancel":
+			r := RunSim(c.Script)
+			if r.Timeouts[1] != 1 {
+				t.Errorf("cancel script: want exactly 1 timeout for the waiter, got %v", r)
+			}
+			if len(r.Grants) == 0 {
+				t.Errorf("cancel script: second acquire should succeed: %v", r)
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package workloads defines the explorable scenarios the deterministic
+// checker (internal/check) runs against the real scl locks. Each
+// workload builds a fresh lock per explored schedule, drives it from
+// managed goroutines, and asserts the paper's guarantees on every
+// schedule: mutual exclusion, no lost grants (via the scheduler's
+// deadlock detector), accounting conservation (CheckInvariants after
+// every operation), and the opportunity-imbalance bound. The package is
+// shared by `go test ./internal/check` and the cmd/sclcheck CLI.
+package workloads
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scl"
+	"scl/internal/check"
+)
+
+// opKind enumerates the scripted operations of the churn workloads.
+type opKind int
+
+const (
+	opLock opKind = iota
+	opTry
+	opCancel // cancellable acquire whose context fires mid-flight
+	opThink  // off-lock virtual time
+	opClose  // close the handle mid-run and reopen a fresh one
+)
+
+type op struct {
+	kind opKind
+	hold time.Duration // critical-section length (lock ops)
+	wait time.Duration // think time, or cancel delay
+}
+
+// MutexOpts configures the Mutex churn workload.
+type MutexOpts struct {
+	// Entities is the number of concurrent entities (default 3).
+	Entities int
+	// Ops is the number of scripted operations per entity (default 4).
+	Ops int
+	// Slice is the lock slice (default 2ms, the paper's).
+	Slice time.Duration
+	// Seed derives each entity's deterministic op script.
+	Seed int64
+	// Cancel mixes in cancellable acquires abandoned mid-flight.
+	Cancel bool
+	// CloseMid mixes in mid-run Close/reopen churn.
+	CloseMid bool
+	// GC enables the inactive-entity GC with a tight threshold, pulling
+	// the reap paths into the explored schedules.
+	GC bool
+}
+
+func (o *MutexOpts) defaults() {
+	if o.Entities <= 0 {
+		o.Entities = 3
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.Slice == 0 {
+		o.Slice = 2 * time.Millisecond
+	}
+}
+
+// script derives entity e's deterministic operation list.
+func (o MutexOpts) script(e int) []op {
+	rng := rand.New(rand.NewSource(o.Seed*1000003 + int64(e)))
+	ops := make([]op, 0, o.Ops)
+	for i := 0; i < o.Ops; i++ {
+		hold := time.Duration(50+rng.Intn(1500)) * time.Microsecond
+		wait := time.Duration(rng.Intn(2000)) * time.Microsecond
+		k := opLock
+		switch r := rng.Intn(10); {
+		case r < 5:
+			k = opLock
+		case r < 6:
+			k = opTry
+		case r < 8 && o.Cancel:
+			k = opCancel
+		case r < 9 && o.CloseMid:
+			k = opClose
+		default:
+			k = opThink
+		}
+		ops = append(ops, op{kind: k, hold: hold, wait: wait})
+	}
+	return ops
+}
+
+// MutexChurn is the 3-entity lock/cancel/close workload from the issue:
+// entities run deterministic per-seed scripts of plain, try-, and
+// cancellable acquires plus mid-run handle churn, asserting mutual
+// exclusion and lock invariants after every operation, and full
+// teardown (no registered entities, clean books) at the end.
+func MutexChurn(o MutexOpts) check.Workload {
+	o.defaults()
+	var m *scl.Mutex
+	return check.Workload{
+		Name: "mutex-churn",
+		Setup: func(s *check.Sched) {
+			opts := scl.Options{Slice: o.Slice}
+			if o.GC {
+				opts.InactiveTimeout = 10 * time.Millisecond
+			}
+			m = scl.NewMutex(opts)
+			held := new(int)
+			for e := 0; e < o.Entities; e++ {
+				e := e
+				script := o.script(e)
+				h := m.Register()
+				s.Go(fmt.Sprintf("e%d", e), func() {
+					runMutexScript(s, m, h, script, held)
+				})
+			}
+		},
+		Validate: func() error {
+			if err := m.CheckInvariants(); err != nil {
+				return err
+			}
+			if n := m.Entities(); n != 0 {
+				return fmt.Errorf("%d entities still registered after all handles closed", n)
+			}
+			return nil
+		},
+	}
+}
+
+// runMutexScript executes one entity's scripted ops, asserting mutual
+// exclusion via the shared holder counter and the lock's invariants
+// after every operation.
+func runMutexScript(s *check.Sched, m *scl.Mutex, h *scl.Handle, script []op, held *int) {
+	enter := func() {
+		*held++
+		if *held != 1 {
+			s.Failf("mutual exclusion violated: %d holders", *held)
+		}
+	}
+	exit := func() {
+		*held--
+	}
+	for i, o := range script {
+		switch o.kind {
+		case opLock:
+			h.Lock()
+			enter()
+			check.Sleep(o.hold)
+			exit()
+			h.Unlock()
+		case opTry:
+			if h.TryLock() {
+				enter()
+				check.Sleep(o.hold)
+				exit()
+				h.Unlock()
+			}
+		case opCancel:
+			ctx, cancel := context.WithCancel(context.Background())
+			s.Go("canceller", func() {
+				check.Sleep(o.wait)
+				cancel()
+			})
+			if err := h.LockContext(ctx); err == nil {
+				enter()
+				check.Sleep(o.hold)
+				exit()
+				h.Unlock()
+			}
+			cancel()
+		case opClose:
+			h.Close()
+			check.Sleep(o.wait)
+			h = m.Register()
+		case opThink:
+			check.Sleep(o.wait)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			s.Failf("invariants broken after op %d: %v", i, err)
+		}
+	}
+	h.Close()
+	if err := m.CheckInvariants(); err != nil {
+		s.Failf("invariants broken after close: %v", err)
+	}
+}
+
+// ContendOpts configures the opportunity-imbalance workload.
+type ContendOpts struct {
+	Entities int
+	Ops      int
+	Slice    time.Duration
+	Hold     time.Duration // fixed critical-section length
+	Seed     int64
+}
+
+// MutexContend is the opportunity-imbalance workload: equal-weight
+// entities contend with plain (uncancellable) acquires and a fixed
+// hold, and every single acquisition asserts the paper's bound — with N
+// equal entities, a waiter's delay is bounded by the others' slices,
+// their slice-overrunning critical sections, and one ban penalty
+// (penalty <= (N-1) x window at equal weights, paper §4.2). The factor
+// below is deliberately generous (it must hold on EVERY schedule,
+// including adversarial ones); it still catches unbounded starvation
+// and lost wakeups, which show up as waits growing with the op count
+// or as deadlocks.
+func MutexContend(o ContendOpts) check.Workload {
+	if o.Entities <= 0 {
+		o.Entities = 3
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.Slice == 0 {
+		o.Slice = 2 * time.Millisecond
+	}
+	if o.Hold == 0 {
+		o.Hold = time.Millisecond
+	}
+	bound := time.Duration(6*o.Entities) * (o.Slice + o.Hold)
+	var m *scl.Mutex
+	return check.Workload{
+		Name: "mutex-contend",
+		Setup: func(s *check.Sched) {
+			m = scl.NewMutex(scl.Options{Slice: o.Slice})
+			held := new(int)
+			for e := 0; e < o.Entities; e++ {
+				h := m.Register()
+				s.Go(fmt.Sprintf("e%d", e), func() {
+					for i := 0; i < o.Ops; i++ {
+						t0, _ := check.Now()
+						h.Lock()
+						t1, _ := check.Now()
+						if wait := t1 - t0; wait > bound {
+							s.Failf("opportunity-imbalance bound exceeded: op %d waited %v (bound %v)", i, wait, bound)
+						}
+						*held++
+						if *held != 1 {
+							s.Failf("mutual exclusion violated: %d holders", *held)
+						}
+						check.Sleep(o.Hold)
+						*held--
+						h.Unlock()
+					}
+					h.Close()
+				})
+			}
+		},
+		Validate: func() error { return m.CheckInvariants() },
+	}
+}
+
+// RWOpts configures the RWLock churn workload.
+type RWOpts struct {
+	Readers int
+	Writers int
+	Ops     int
+	Period  time.Duration
+	Seed    int64
+	Cancel  bool
+}
+
+// RWChurn drives the RW-SCL: readers and writers run deterministic
+// scripts of plain and cancellable acquires, asserting the
+// reader/writer exclusion protocol and the lock's invariants after
+// every operation.
+func RWChurn(o RWOpts) check.Workload {
+	if o.Readers <= 0 {
+		o.Readers = 2
+	}
+	if o.Writers <= 0 {
+		o.Writers = 1
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.Period == 0 {
+		o.Period = 2 * time.Millisecond
+	}
+	var l *scl.RWLock
+	return check.Workload{
+		Name: "rw-churn",
+		Setup: func(s *check.Sched) {
+			l = scl.NewRWLock(1, 1, o.Period)
+			readers := new(int)
+			writers := new(int)
+			checkState := func() {
+				if *writers > 1 {
+					s.Failf("%d writers active", *writers)
+				}
+				if *writers == 1 && *readers > 0 {
+					s.Failf("writer active with %d readers", *readers)
+				}
+			}
+			spawn := func(name string, e int, write bool) {
+				rng := rand.New(rand.NewSource(o.Seed*999983 + int64(e)))
+				s.Go(name, func() {
+					for i := 0; i < o.Ops; i++ {
+						hold := time.Duration(50+rng.Intn(1000)) * time.Microsecond
+						think := time.Duration(rng.Intn(1500)) * time.Microsecond
+						cancelAt := time.Duration(rng.Intn(1500)) * time.Microsecond
+						useCancel := o.Cancel && rng.Intn(4) == 0
+						acquired := true
+						if useCancel {
+							ctx, cancel := context.WithCancel(context.Background())
+							s.Go("canceller", func() {
+								check.Sleep(cancelAt)
+								cancel()
+							})
+							var err error
+							if write {
+								err = l.WLockContext(ctx)
+							} else {
+								err = l.RLockContext(ctx)
+							}
+							acquired = err == nil
+							cancel()
+						} else if write {
+							l.WLock()
+						} else {
+							l.RLock()
+						}
+						if acquired {
+							if write {
+								*writers++
+							} else {
+								*readers++
+							}
+							checkState()
+							check.Sleep(hold)
+							if write {
+								*writers--
+								l.WUnlock()
+							} else {
+								*readers--
+								l.RUnlock()
+							}
+						}
+						if err := l.CheckInvariants(); err != nil {
+							s.Failf("invariants broken after op %d: %v", i, err)
+						}
+						check.Sleep(think)
+					}
+				})
+			}
+			for r := 0; r < o.Readers; r++ {
+				spawn(fmt.Sprintf("r%d", r), r, false)
+			}
+			for w := 0; w < o.Writers; w++ {
+				spawn(fmt.Sprintf("w%d", w), o.Readers+w, true)
+			}
+		},
+		Validate: func() error { return l.CheckInvariants() },
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"time"
+
+	"scl/internal/check"
 )
 
 // ID identifies a schedulable entity (a thread in the paper; a registered
@@ -124,6 +126,7 @@ func (a *Accountant) Params() Params { return a.params }
 // granted at most JoinCredit of usage deficit so it cannot monopolize the
 // lock to "catch up" on an arbitrarily long past.
 func (a *Accountant) Register(id ID, weight int64, now time.Duration) {
+	check.Point("acct.register")
 	if weight <= 0 {
 		panic(fmt.Sprintf("core: entity %d registered with non-positive weight %d", id, weight))
 	}
@@ -247,6 +250,7 @@ func (a *Accountant) OnAcquire(id ID, now time.Duration) {
 // makes the just-ended ownership window average out to the entity's share:
 // after using the lock for U, the entity stays away for U/share − U.
 func (a *Accountant) OnRelease(id ID, now time.Duration) Release {
+	check.Point("acct.release")
 	e, ok := a.entities[id]
 	if !ok || !e.holding {
 		return Release{}
@@ -289,6 +293,7 @@ func (a *Accountant) OnRelease(id ID, now time.Duration) Release {
 // the coming slice end sees it), exactly as if it had been accumulated by
 // per-operation OnAcquire/OnRelease pairs.
 func (a *Accountant) FoldSliceUsage(id ID, usage time.Duration, now time.Duration) {
+	check.Point("acct.fold")
 	if usage <= 0 {
 		return
 	}
@@ -391,6 +396,7 @@ func (a *Accountant) Expire(now time.Duration) []ID {
 // are always kept: reaping a banned entity would let it re-register
 // through the join-credit floor and launder the remainder of its penalty.
 func (a *Accountant) ExpireInactive(now time.Duration, keep func(ID) bool) []Expired {
+	check.Point("acct.expire")
 	if a.params.InactiveTimeout <= 0 {
 		return nil
 	}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden files in testdata/. Run with
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// after an intentional output change, and commit the new files.
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden compares got against testdata/<name>, rewriting the file under
+// -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after an intentional change)\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenTable2Seed1 pins the byte-exact output of the table2
+// experiment at seed 1: the simulator-backed experiments must be fully
+// deterministic for a given seed, so any byte of drift is either an
+// intentional output change (re-golden with -update) or a determinism
+// regression.
+func TestGoldenTable2Seed1(t *testing.T) {
+	r, ok := Get("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	run := func() string {
+		res, err := r.Run(Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("table2: %v", err)
+		}
+		return res.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("table2 -seed 1 is not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	golden(t, "table2_seed1.golden", a)
+}
+
+// tableRow matches a table1 data row: a label column, an operation
+// column, then numeric quantiles.
+var tableRow = regexp.MustCompile(`^(.*?\S)\s{2,}(\S+)\s{2,}[0-9]`)
+
+// TestGoldenTable1Skeleton pins the structure of `sclbench -exp table1
+// -seed 1`: the substrate/operation rows, in order. The quantile values
+// themselves are real wall-clock measurements (table1 times this
+// repository's substrates, not the simulator), so they cannot be
+// byte-golden; the skeleton catches lost substrates, renamed rows, and
+// reordered output, which is what the table's consumers key on.
+func TestGoldenTable1Skeleton(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 runs real substrate measurements")
+	}
+	r, ok := Get("table1")
+	if !ok {
+		t.Fatal("table1 not registered")
+	}
+	res, err := r.Run(Options{Seed: 1, Scale: 0.05})
+	if err != nil {
+		t.Fatalf("table1: %v", err)
+	}
+	var sk strings.Builder
+	for _, line := range strings.Split(res.String(), "\n") {
+		if m := tableRow.FindStringSubmatch(line); m != nil {
+			sk.WriteString(m[1] + " | " + m[2] + "\n")
+		}
+	}
+	if sk.Len() == 0 {
+		t.Fatalf("no data rows recognized in table1 output:\n%s", res.String())
+	}
+	golden(t, "table1_skeleton.golden", sk.String())
+}

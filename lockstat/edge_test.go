@@ -1,0 +1,122 @@
+package lockstat
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// nopLock is a Locked that never blocks, letting tests drive lockstat's
+// bookkeeping through handle sequences a real mutex would forbid (a
+// release racing a peer's acquisition).
+type nopLock struct{}
+
+func (nopLock) Lock()   {}
+func (nopLock) Unlock() {}
+
+// TestReportEdgeCases drives Report through the degenerate shapes the
+// accounting must survive: a lock nobody touched, a single entity, and
+// an overlap where a handle releases after a peer has already been
+// recorded as holder (its release must not be attributed or corrupt the
+// peer's in-flight hold).
+func TestReportEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		run  func() Report
+		want func(t *testing.T, rep Report)
+	}{
+		{
+			name: "empty",
+			run: func() Report {
+				l := Wrap(&sync.Mutex{})
+				time.Sleep(2 * time.Millisecond)
+				return l.Report()
+			},
+			want: func(t *testing.T, rep Report) {
+				if len(rep.Entities) != 0 {
+					t.Fatalf("%d entities on an untouched lock", len(rep.Entities))
+				}
+				if rep.JainLOT != 1 {
+					t.Errorf("JainLOT = %v on an untouched lock, want 1 (vacuously fair)", rep.JainLOT)
+				}
+				if rep.Idle < rep.Elapsed/2 {
+					t.Errorf("idle %v not dominating elapsed %v on an untouched lock", rep.Idle, rep.Elapsed)
+				}
+				if rep.Subverted() {
+					t.Error("untouched lock reported as subverting")
+				}
+			},
+		},
+		{
+			name: "one-entity",
+			run: func() Report {
+				l := Wrap(&sync.Mutex{})
+				h := l.Handle("only")
+				for i := 0; i < 3; i++ {
+					h.Lock()
+					time.Sleep(time.Millisecond)
+					h.Unlock()
+				}
+				return l.Report()
+			},
+			want: func(t *testing.T, rep Report) {
+				if len(rep.Entities) != 1 {
+					t.Fatalf("%d entities, want 1", len(rep.Entities))
+				}
+				e := rep.Entities[0]
+				if e.Name != "only" || e.Ops != 3 {
+					t.Errorf("entity = %q/%d ops, want only/3", e.Name, e.Ops)
+				}
+				if e.Hold <= 0 {
+					t.Errorf("hold %v, want > 0", e.Hold)
+				}
+				if e.LOT != e.Hold+rep.Idle {
+					t.Errorf("LOT %v != hold %v + idle %v (paper eq. 1)", e.LOT, e.Hold, rep.Idle)
+				}
+				if rep.JainLOT != 1 {
+					t.Errorf("JainLOT = %v with one entity, want 1", rep.JainLOT)
+				}
+			},
+		},
+		{
+			name: "overlap",
+			run: func() Report {
+				// a acquires, then b is recorded as holder before a
+				// releases; a's release must be dropped (not attributed),
+				// and b's hold must be recorded intact.
+				l := Wrap(nopLock{})
+				a, b := l.Handle("a"), l.Handle("b")
+				a.Lock()
+				b.Lock()
+				a.Unlock() // non-holder release: dropped
+				time.Sleep(time.Millisecond)
+				b.Unlock()
+				return l.Report()
+			},
+			want: func(t *testing.T, rep Report) {
+				if len(rep.Entities) != 2 {
+					t.Fatalf("%d entities, want 2", len(rep.Entities))
+				}
+				byName := map[string]EntityReport{}
+				for _, e := range rep.Entities {
+					byName[e.Name] = e
+				}
+				if got := byName["a"].Ops; got != 0 {
+					t.Errorf("a completed %d ops, want 0 (its release raced b's acquisition)", got)
+				}
+				if got := byName["b"].Ops; got != 1 {
+					t.Errorf("b completed %d ops, want 1", got)
+				}
+				if byName["b"].Hold <= 0 {
+					t.Errorf("b hold %v, want > 0", byName["b"].Hold)
+				}
+			},
+		},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tc.want(t, tc.run())
+		})
+	}
+}

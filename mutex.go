@@ -2,11 +2,13 @@ package scl
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scl/internal/check"
 	"scl/internal/core"
 	"scl/trace"
 )
@@ -70,7 +72,9 @@ type Mutex struct {
 	// One reusable timer drives slice-end processing (stale-marking a
 	// fast-path owner, transferring to waiters, clearing an abandoned
 	// slice); re-arming per operation would spawn a goroutine per firing.
-	timer   *time.Timer
+	// Behind the lockTimer seam it is a virtual-clock timer under the
+	// deterministic checker, a time.AfterFunc timer otherwise.
+	timer   lockTimer
 	timerAt time.Duration // absolute arm target; avoids redundant resets
 
 	stats lockStats
@@ -167,10 +171,10 @@ func (m *Mutex) RegisterNice(nice int) *Handle {
 // RegisterWeight adds an entity with an explicit weight.
 func (m *Mutex) RegisterWeight(weight int64) *Handle {
 	h := &Handle{m: m, id: core.ID(handleIDs.Add(1)), weight: weight}
-	m.mu.Lock()
+	m.lockMu()
 	m.acct.Register(h.id, weight, monotime())
 	m.refs[h.id]++
-	m.mu.Unlock()
+	m.unlockMu()
 	return h
 }
 
@@ -182,9 +186,9 @@ func (m *Mutex) RegisterWeight(weight int64) *Handle {
 // one entity). Each sibling is still a single thread of control.
 func (h *Handle) Sibling() *Handle {
 	s := &Handle{m: h.m, id: h.id, weight: h.weight, name: h.name}
-	h.m.mu.Lock()
+	h.m.lockMu()
 	h.m.refs[h.id]++
-	h.m.mu.Unlock()
+	h.m.unlockMu()
 	return s
 }
 
@@ -197,8 +201,9 @@ func (h *Handle) Sibling() *Handle {
 // inactive-entity GC when WithInactiveGC is configured.
 func (h *Handle) Close() {
 	m := h.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	check.Point("mu.close")
+	m.lockMu()
+	defer m.unlockMu()
 	m.refs[h.id]--
 	if m.refs[h.id] > 0 {
 		return
@@ -245,6 +250,7 @@ func (h *Handle) Close() {
 // lock, not queued), its accounting state is removed so no stale weight
 // survives in totalWeight or grandUsage. m.mu held.
 func (m *Mutex) dropGhostLocked(id core.ID, now time.Duration) {
+	check.Point("mu.dropghost")
 	if _, open := m.refs[id]; open {
 		return
 	}
@@ -371,6 +377,9 @@ func (m *Mutex) mutate(f func(uint64) uint64) uint64 {
 	for {
 		old := m.word.Load()
 		new := f(old)
+		// The load→CAS window: a concurrent fast-path CAS may land here,
+		// which is exactly the interleaving the checker reorders.
+		check.Point("mu.word.mutate")
 		if old == new || m.word.CompareAndSwap(old, new) {
 			return new
 		}
@@ -387,6 +396,7 @@ func (m *Mutex) fastLock(h *Handle) bool {
 	if w&^wordWaiters != ownerBits(h.id) {
 		return false
 	}
+	check.Point("mu.fast.lock")
 	if !m.word.CompareAndSwap(w, w|wordHeld) {
 		return false
 	}
@@ -420,6 +430,7 @@ func (m *Mutex) fastUnlock(h *Handle) bool {
 		}
 	}
 	m.fastHeld = false
+	check.Point("mu.fast.unlock")
 	if !m.word.CompareAndSwap(wordHeld|ownerBits(h.id), ownerBits(h.id)) {
 		m.fastHeld = true // slow path will finish this release
 		return false
@@ -470,8 +481,9 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 		done = ctx.Done()
 	}
 	reqAt := time.Duration(-1) // first clock read inside the loop
+	check.Point("mu.lockslow")
 	for {
-		m.mu.Lock()
+		m.lockMu()
 		now := monotime()
 		if reqAt < 0 {
 			reqAt = now
@@ -480,13 +492,22 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 		if until <= now {
 			break // proceed, still holding m.mu
 		}
-		m.mu.Unlock()
+		m.unlockMu()
 		if done == nil {
-			time.Sleep(until - now)
+			if !check.Sleep(until - now) {
+				time.Sleep(until - now)
+			}
 			continue
 		}
 		// A cancellable acquire must be able to walk away mid-penalty:
 		// the ban only makes an uncancellable wait longer.
+		if cancelled, handled := check.SleepOrDone(until-now, done); handled {
+			if cancelled {
+				m.noteAbandon(h, reqAt)
+				return ctx.Err()
+			}
+			continue
+		}
 		t := time.NewTimer(until - now)
 		select {
 		case <-t.C:
@@ -502,7 +523,7 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 	now := monotime()
 	if m.word.Load()&(wordHeld|wordTransfer) == 0 && m.fastEligible(h, now) && m.setHeldLocked() {
 		m.acquireLocked(h, now, reqAt)
-		m.mu.Unlock()
+		m.unlockMu()
 		return nil
 	}
 	// Slow path: queue.
@@ -517,13 +538,14 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 	if head {
 		m.armSliceEnd()
 	}
-	m.mu.Unlock()
+	m.unlockMu()
 	if !w.await(done, head) {
 		m.abandon(w, reqAt)
 		return ctx.Err()
 	}
 	// Granted: finalize ownership.
-	m.mu.Lock()
+	check.Point("mu.granted")
+	m.lockMu()
 	now = monotime()
 	if m.next == w {
 		m.next = nil
@@ -540,7 +562,7 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 	m.syncWaitersBit()
 	m.armSliceEnd() // the transfer bit suppressed arming in startSlice
 	m.acquireLocked(h, now, reqAt)
-	m.mu.Unlock()
+	m.unlockMu()
 	return nil
 }
 
@@ -551,8 +573,9 @@ func (m *Mutex) lockSlow(h *Handle, ctx context.Context) error {
 // remaining waiter. Either way the caller returns without the lock, and
 // the accountant's books look as if w had never queued.
 func (m *Mutex) abandon(w *waiter, reqAt time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	check.Point("mu.abandon")
+	m.lockMu()
+	defer m.unlockMu()
 	now := monotime()
 	granted := w.granted.Load() // stable under m.mu: grants happen under it
 	if m.next == w {
@@ -579,6 +602,7 @@ func (m *Mutex) abandon(w *waiter, reqAt time.Duration) {
 // either passed on or retired. m.mu held; w is already detached from the
 // queue.
 func (m *Mutex) regrantLocked(w *waiter, now time.Duration) {
+	check.Point("mu.regrant")
 	if w.intra {
 		// An intra-class handoff: the slice is live and belongs to w's
 		// entity. Pass the grant to another queued waiter of the class, or
@@ -616,8 +640,8 @@ func (m *Mutex) regrantLocked(w *waiter, now time.Duration) {
 // noteAbandon records a cancelled acquisition that never queued (a ban
 // sleep walked out early).
 func (m *Mutex) noteAbandon(h *Handle, reqAt time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockMu()
+	defer m.unlockMu()
 	m.noteAbandonLocked(h, monotime(), reqAt)
 }
 
@@ -646,8 +670,9 @@ func (h *Handle) TryLock() bool {
 	if m.word.Load() == ownerBits(h.id) && m.fastLock(h) {
 		return true
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	check.Point("mu.trylock")
+	m.lockMu()
+	defer m.unlockMu()
 	now := monotime()
 	if m.acct.BannedUntil(h.id) > now {
 		return false
@@ -714,6 +739,7 @@ func (m *Mutex) setHeldLocked() bool {
 		if w&wordHeld != 0 {
 			return false
 		}
+		check.Point("mu.setheld")
 		if m.word.CompareAndSwap(w, w|wordHeld) {
 			return true
 		}
@@ -777,6 +803,12 @@ func (m *Mutex) fold(now time.Duration) {
 // false return does not mean the grant cannot still land — the caller must
 // resolve the race under m.mu (see abandon).
 func (w *waiter) await(done <-chan struct{}, head bool) bool {
+	if ok, handled := check.WaitOrDone("mu.await", w.granted.Load, done); handled {
+		// Deterministic checker: the scheduler wakes us on grant or
+		// cancellation directly; the spin/futex machinery below is real-
+		// runtime plumbing with no scheduling decisions of its own.
+		return ok
+	}
 	if head {
 		for i := 0; i < 64; i++ {
 			if w.granted.Load() {
@@ -845,8 +877,9 @@ func (h *Handle) Unlock() {
 	if m.fastUnlock(h) {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	check.Point("mu.unlock.slow")
+	m.lockMu()
+	defer m.unlockMu()
 	if m.word.Load()&wordHeld == 0 {
 		panic("scl: Unlock of unlocked Mutex")
 	}
@@ -947,6 +980,7 @@ func (m *Mutex) takeClassWaiter(owner core.ID) *waiter {
 // transferLocked hands the free, slice-expired lock to the head waiter or
 // clears the slice. m.mu held.
 func (m *Mutex) transferLocked(now time.Duration) {
+	check.Point("mu.transfer")
 	if m.word.Load()&wordTransfer != 0 {
 		return
 	}
@@ -974,6 +1008,7 @@ func (m *Mutex) transferLocked(now time.Duration) {
 // or already holds the lock — the latter reported by a false return (that
 // holder's release runs the boundary instead). m.mu held.
 func (m *Mutex) endIdleSliceLocked(now time.Duration) bool {
+	check.Point("mu.endidle")
 	owner, ok := m.acct.SliceOwner()
 	if !ok {
 		return true
@@ -1019,7 +1054,7 @@ func (m *Mutex) armSliceEnd() {
 		delay = 0
 	}
 	if m.timer == nil {
-		m.timer = time.AfterFunc(delay, m.onSliceTimer)
+		m.timer = startLockTimer(delay, m.onSliceTimer)
 		return
 	}
 	m.timer.Reset(delay)
@@ -1030,8 +1065,9 @@ func (m *Mutex) armSliceEnd() {
 // operation then takes the slow path), transfers a free lock to waiters,
 // or clears an abandoned slice. Stale firings are no-ops.
 func (m *Mutex) onSliceTimer() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	check.Point("mu.slicetimer")
+	m.lockMu()
+	defer m.unlockMu()
 	m.timerAt = -1 // consumed; the next armSliceEnd must re-arm
 	now := monotime()
 	m.maybeReap(now)
@@ -1083,8 +1119,8 @@ func (m *Mutex) onSliceTimer() {
 // WithInactiveGC configured, taking a snapshot also gives the lazy
 // inactive-entity GC a chance to run.
 func (m *Mutex) Stats() StatsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockMu()
+	defer m.unlockMu()
 	now := monotime()
 	m.fold(now)
 	m.maybeReap(now)
@@ -1097,9 +1133,35 @@ func (m *Mutex) Stats() StatsSnapshot {
 // lock's accounting. With WithInactiveGC this tracks the active set
 // rather than every entity that ever registered.
 func (m *Mutex) Entities() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.lockMu()
+	defer m.unlockMu()
 	return m.acct.Len()
+}
+
+// CheckInvariants verifies the lock's internal consistency: the
+// accounting engine's conservation invariants (weight and usage totals
+// match the per-entity sums, the slice owner is registered), agreement
+// between the state word's waiters bit and the waiter queue, and the
+// queue's structural invariant (a populated parked list implies a head
+// waiter in the next slot). It is meant for tests — the deterministic
+// checker calls it between operations of every explored schedule — and
+// reports the first violation found, or nil.
+func (m *Mutex) CheckInvariants() error {
+	m.lockMu()
+	defer m.unlockMu()
+	if err := m.acct.CheckInvariants(); err != nil {
+		return err
+	}
+	queued := m.next != nil || len(m.parked) > 0
+	hasBit := m.word.Load()&wordWaiters != 0
+	if queued != hasBit {
+		return fmt.Errorf("scl: waiters bit %v but queue populated %v (next=%v parked=%d)",
+			hasBit, queued, m.next != nil, len(m.parked))
+	}
+	if m.next == nil && len(m.parked) > 0 {
+		return fmt.Errorf("scl: %d parked waiters with an empty next slot", len(m.parked))
+	}
+	return nil
 }
 
 var _ sync.Locker = (*Handle)(nil)

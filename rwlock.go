@@ -2,10 +2,12 @@ package scl
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scl/internal/check"
 	"scl/internal/core"
 	"scl/trace"
 )
@@ -60,8 +62,9 @@ type RWLock struct {
 
 	// One reusable timer drives phase-end re-evaluation; re-arming per
 	// operation would spawn a goroutine per firing (time.AfterFunc), which
-	// dominates runtime under load.
-	timer      *time.Timer
+	// dominates runtime under load. Behind the lockTimer seam it is a
+	// virtual-clock timer under the deterministic checker.
+	timer      lockTimer
 	timerAt    time.Duration // absolute arm target; avoids redundant resets
 	phaseFresh bool          // no acquisition has landed yet in this slice
 
@@ -145,16 +148,16 @@ func NewRWLock(readWeight, writeWeight int64, period time.Duration, opts ...Opti
 
 // SetName labels the lock in trace events and metrics export.
 func (l *RWLock) SetName(name string) *RWLock {
-	l.mu.Lock()
+	l.lockMu()
 	l.name = name
-	l.mu.Unlock()
+	l.unlockMu()
 	return l
 }
 
 // Name returns the lock's configured label ("" if unnamed).
 func (l *RWLock) Name() string {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockMu()
+	defer l.unlockMu()
 	return l.name
 }
 
@@ -167,7 +170,7 @@ func (l *RWLock) Name() string {
 // outgoing phase's length. While a Tracer is installed the in-slice fast
 // path is disabled, so every operation is traced.
 func (l *RWLock) SetTracer(t Tracer) {
-	l.mu.Lock()
+	l.lockMu()
 	now := monotime()
 	l.rStart = now
 	l.wStart = now
@@ -177,7 +180,7 @@ func (l *RWLock) SetTracer(t Tracer) {
 	} else {
 		l.tracer.Store(&t)
 	}
-	l.mu.Unlock()
+	l.unlockMu()
 }
 
 func (l *RWLock) loadTracer() Tracer {
@@ -217,6 +220,9 @@ func (l *RWLock) mutateWord(f func(uint64) uint64) uint64 {
 	for {
 		old := l.word.Load()
 		new := f(old)
+		// The load→CAS window where a concurrent fast-path CAS may land —
+		// the interleaving the deterministic checker reorders.
+		check.Point("rw.word.mutate")
 		if old == new || l.word.CompareAndSwap(old, new) {
 			return new
 		}
@@ -232,6 +238,7 @@ func (l *RWLock) fastRLock(now time.Duration) bool {
 		if w&(rwWActive|rwPhaseWrite|rwWaiters) != 0 || l.tracer.Load() != nil {
 			return false
 		}
+		check.Point("rw.fast.rlock")
 		if l.word.CompareAndSwap(w, w+1) {
 			l.charge(w, now)
 			l.lastFast.Store(int64(now))
@@ -249,6 +256,7 @@ func (l *RWLock) fastRUnlock(now time.Duration) bool {
 		if w&rwWaiters != 0 || w&rwCount == 0 || l.tracer.Load() != nil {
 			return false
 		}
+		check.Point("rw.fast.runlock")
 		if l.word.CompareAndSwap(w, w-1) {
 			l.charge(w, now)
 			l.lastFast.Store(int64(now))
@@ -265,6 +273,7 @@ func (l *RWLock) fastWLock(now time.Duration) bool {
 		if w != rwPhaseWrite || l.tracer.Load() != nil {
 			return false
 		}
+		check.Point("rw.fast.wlock")
 		if l.word.CompareAndSwap(w, w|rwWActive) {
 			l.charge(w, now)
 			l.lastFast.Store(int64(now))
@@ -281,6 +290,7 @@ func (l *RWLock) fastWUnlock(now time.Duration) bool {
 		if w != rwPhaseWrite|rwWActive || l.tracer.Load() != nil {
 			return false
 		}
+		check.Point("rw.fast.wunlock")
 		if l.word.CompareAndSwap(w, rwPhaseWrite) {
 			l.charge(w, now)
 			l.lastFast.Store(int64(now))
@@ -296,7 +306,9 @@ func (l *RWLock) RLock() {
 		return
 	}
 	if ch, _ := l.rlockSlow(); ch != nil {
-		<-ch // granted: reader count already bumped by the granter
+		if !check.WaitChan("rw.rwait", ch) {
+			<-ch // granted: reader count already bumped by the granter
+		}
 	}
 }
 
@@ -317,6 +329,13 @@ func (l *RWLock) RLockContext(ctx context.Context) error {
 	if ch == nil {
 		return nil
 	}
+	if ok, handled := check.WaitChanOrDone("rw.rwait", ch, ctx.Done()); handled {
+		if ok {
+			return nil
+		}
+		l.abandonWaiter(&l.waitR, ch, trace.EntityReaders, since)
+		return ctx.Err()
+	}
 	select {
 	case <-ch:
 		return nil
@@ -329,7 +348,8 @@ func (l *RWLock) RLockContext(ctx context.Context) error {
 // rlockSlow runs the shared acquire under l.mu: either inline (nil
 // channel) or queued (the grant channel, plus the enqueue time).
 func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
-	l.mu.Lock()
+	check.Point("rw.rlock.slow")
+	l.lockMu()
 	now := monotime()
 	l.advanceLocked(now)
 	w := l.word.Load()
@@ -344,14 +364,14 @@ func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
 		if t := l.loadTracer(); t != nil {
 			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
 		}
-		l.mu.Unlock()
+		l.unlockMu()
 		return nil, now
 	}
 	ch := make(chan struct{}, 1)
 	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now})
 	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
-	l.mu.Unlock()
+	l.unlockMu()
 	return ch, now
 }
 
@@ -361,11 +381,12 @@ func (l *RWLock) RUnlock() {
 	if l.fastRUnlock(now) {
 		return
 	}
-	l.mu.Lock()
+	check.Point("rw.runlock.slow")
+	l.lockMu()
 	now = monotime()
 	w := l.word.Load()
 	if w&rwCount == 0 {
-		l.mu.Unlock()
+		l.unlockMu()
 		panic("scl: RUnlock without RLock")
 	}
 	l.charge(w, now)
@@ -378,7 +399,7 @@ func (l *RWLock) RUnlock() {
 		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityReaders, busy))
 	}
 	l.advanceLocked(now)
-	l.mu.Unlock()
+	l.unlockMu()
 }
 
 // WLock acquires the lock exclusive. During a read slice it blocks until
@@ -390,7 +411,9 @@ func (l *RWLock) WLock() {
 		return
 	}
 	if ch, _ := l.wlockSlow(); ch != nil {
-		<-ch // granted: writer-active already set by the granter
+		if !check.WaitChan("rw.wwait", ch) {
+			<-ch // granted: writer-active already set by the granter
+		}
 	}
 }
 
@@ -408,6 +431,13 @@ func (l *RWLock) WLockContext(ctx context.Context) error {
 	if ch == nil {
 		return nil
 	}
+	if ok, handled := check.WaitChanOrDone("rw.wwait", ch, ctx.Done()); handled {
+		if ok {
+			return nil
+		}
+		l.abandonWaiter(&l.waitW, ch, trace.EntityWriters, since)
+		return ctx.Err()
+	}
 	select {
 	case <-ch:
 		return nil
@@ -420,7 +450,8 @@ func (l *RWLock) WLockContext(ctx context.Context) error {
 // wlockSlow runs the exclusive acquire under l.mu: either inline (nil
 // channel) or queued (the grant channel, plus the enqueue time).
 func (l *RWLock) wlockSlow() (chan struct{}, time.Duration) {
-	l.mu.Lock()
+	check.Point("rw.wlock.slow")
+	l.lockMu()
 	now := monotime()
 	l.advanceLocked(now)
 	w := l.word.Load()
@@ -433,14 +464,14 @@ func (l *RWLock) wlockSlow() (chan struct{}, time.Duration) {
 		if t := l.loadTracer(); t != nil {
 			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityWriters, 0))
 		}
-		l.mu.Unlock()
+		l.unlockMu()
 		return nil, now
 	}
 	ch := make(chan struct{}, 1)
 	l.waitW = append(l.waitW, rwWaiter{ch: ch, since: now})
 	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
-	l.mu.Unlock()
+	l.unlockMu()
 	return ch, now
 }
 
@@ -452,8 +483,9 @@ func (l *RWLock) wlockSlow() (chan struct{}, time.Duration) {
 // hold released immediately, letting advanceLocked re-evaluate the phase
 // and wake whoever is eligible — the grant is never lost.
 func (l *RWLock) abandonWaiter(queue *[]rwWaiter, ch chan struct{}, entity int64, since time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	check.Point("rw.abandon")
+	l.lockMu()
+	defer l.unlockMu()
 	now := monotime()
 	for i, wt := range *queue {
 		if wt.ch == ch {
@@ -507,11 +539,12 @@ func (l *RWLock) WUnlock() {
 	if l.fastWUnlock(now) {
 		return
 	}
-	l.mu.Lock()
+	check.Point("rw.wunlock.slow")
+	l.lockMu()
 	now = monotime()
 	w := l.word.Load()
 	if w&rwWActive == 0 {
-		l.mu.Unlock()
+		l.unlockMu()
 		panic("scl: WUnlock without WLock")
 	}
 	l.charge(w, now)
@@ -520,7 +553,7 @@ func (l *RWLock) WUnlock() {
 		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
 	}
 	l.advanceLocked(now)
-	l.mu.Unlock()
+	l.unlockMu()
 }
 
 // creditFastActivity replays the slice-clock restarts that fast-path
@@ -551,6 +584,7 @@ func (l *RWLock) creditFastActivity() {
 // advanceLocked updates the slice phase and grants eligible waiters.
 // l.mu held.
 func (l *RWLock) advanceLocked(now time.Duration) {
+	check.Point("rw.advance")
 	l.creditFastActivity()
 	w := l.word.Load()
 	var curWants, otherWants bool
@@ -625,6 +659,7 @@ func (l *RWLock) classEntered(now time.Duration) {
 // grantLocked admits waiters permitted by the current phase, then
 // reconciles the waiters bit. l.mu held.
 func (l *RWLock) grantLocked(now time.Duration) {
+	check.Point("rw.grant")
 	defer l.syncWaitersBit()
 	w := l.word.Load()
 	if l.ctrl.Phase() == core.PhaseRead {
@@ -700,7 +735,7 @@ func (l *RWLock) armPhaseTimer() {
 		delay = 0
 	}
 	if l.timer == nil {
-		l.timer = time.AfterFunc(delay, l.onPhaseTimer)
+		l.timer = startLockTimer(delay, l.onPhaseTimer)
 		return
 	}
 	l.timer.Reset(delay)
@@ -709,8 +744,9 @@ func (l *RWLock) armPhaseTimer() {
 // onPhaseTimer re-evaluates the phase when a slice end passes without a
 // lock operation to trigger it.
 func (l *RWLock) onPhaseTimer() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	check.Point("rw.phasetimer")
+	l.lockMu()
+	defer l.unlockMu()
 	l.timerAt = -1 // consumed; the next armPhaseTimer must re-arm
 	l.advanceLocked(monotime())
 }
@@ -733,10 +769,37 @@ type RWStats struct {
 	Elapsed time.Duration
 }
 
+// CheckInvariants verifies the lock's internal consistency: readers and
+// a writer never hold simultaneously, the state word's waiters bit
+// agrees with the wait queues, and the word's phase bit mirrors the
+// controller's phase. It is meant for tests — the deterministic checker
+// calls it between operations of every explored schedule — and reports
+// the first violation found, or nil.
+func (l *RWLock) CheckInvariants() error {
+	l.lockMu()
+	defer l.unlockMu()
+	w := l.word.Load()
+	if w&rwWActive != 0 && w&rwCount != 0 {
+		return fmt.Errorf("scl: writer active with %d readers holding", w&rwCount)
+	}
+	queued := len(l.waitR) > 0 || len(l.waitW) > 0
+	hasBit := w&rwWaiters != 0
+	if queued != hasBit {
+		return fmt.Errorf("scl: rw waiters bit %v but queues populated %v (waitR=%d waitW=%d)",
+			hasBit, queued, len(l.waitR), len(l.waitW))
+	}
+	phaseWrite := l.ctrl.Phase() == core.PhaseWrite
+	bitWrite := w&rwPhaseWrite != 0
+	if phaseWrite != bitWrite {
+		return fmt.Errorf("scl: phase bit says write=%v, controller says write=%v", bitWrite, phaseWrite)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of class usage.
 func (l *RWLock) Stats() RWStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.lockMu()
+	defer l.unlockMu()
 	now := monotime()
 	l.charge(l.word.Load(), now)
 	// Like Mutex.Stats, snapshots give the lazy idle-memory release a

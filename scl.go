@@ -3,6 +3,7 @@ package scl
 import (
 	"time"
 
+	"scl/internal/check"
 	"scl/internal/core"
 )
 
@@ -70,7 +71,14 @@ func (o Options) sliceLen() time.Duration {
 // using the same table as the Linux scheduler (nice 0 → 1024).
 func NiceToWeight(nice int) int64 { return core.NiceToWeight(nice) }
 
-// monotime returns nanoseconds on a process-local monotonic clock.
+// monotime returns nanoseconds on a process-local monotonic clock —
+// or, when a deterministic check scheduler is installed (tests only),
+// its virtual clock, so every explored schedule sees reproducible time.
 var baseTime = time.Now()
 
-func monotime() time.Duration { return time.Since(baseTime) }
+func monotime() time.Duration {
+	if now, ok := check.Now(); ok {
+		return now
+	}
+	return time.Since(baseTime)
+}

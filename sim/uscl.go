@@ -135,6 +135,136 @@ func (l *USCL) Lock(t *Task) {
 	l.stats.onWait(t, t.e.now-start)
 }
 
+// LockTimeout is Lock with a give-up deadline: if the lock has not been
+// granted within timeout of the call, the waiter abandons the queue and
+// LockTimeout returns false. A waiter that has started spinning (the
+// promoted head under Prefetch) is committed — a timeout landing after
+// that is too late, mirroring the real lock's grant/cancel race where a
+// grant that lands first wins. Parked waiters, including a promoted
+// head in the no-prefetch configuration, can abandon until granted,
+// matching scl.Handle.LockContext (the differential oracle therefore
+// scripts cancellation against the no-prefetch variant).
+func (l *USCL) LockTimeout(t *Task, timeout time.Duration) bool {
+	start := t.e.now
+	deadline := start + timeout
+	id := t.Entity()
+	if !l.acct.Registered(id) {
+		l.acct.Register(id, t.weight, t.e.now)
+	}
+	if until := l.acct.BannedUntil(id); until > t.e.now {
+		if until >= deadline {
+			// The ban outlasts the deadline; the real lock's context fires
+			// during the ban sleep and the acquire never starts.
+			t.SleepUntil(deadline)
+			return false
+		}
+		t.SleepUntil(until)
+	}
+	t.Compute(l.e.cfg.Cost.AtomicOp) // fast-path CAS
+	if l.tryFast(t) {
+		l.acquire(t)
+		l.stats.onWait(t, t.e.now-start)
+		return true
+	}
+	if !l.enqueueTimeout(t, deadline) {
+		return false
+	}
+	l.stats.onWait(t, t.e.now-start)
+	return true
+}
+
+// enqueueTimeout is enqueue with an abandon deadline. It reports whether
+// the lock was acquired.
+func (l *USCL) enqueueTimeout(t *Task, deadline time.Duration) bool {
+	l.inheritPriority(t)
+	w := &usclWaiter{t: t}
+	if l.next == nil {
+		w.promoted = true
+		l.next = w
+	} else {
+		l.parked = append(l.parked, w)
+	}
+	abandoned := false
+	if !w.promoted || !l.p.Prefetch {
+		// The event fires in engine context (the waiter is blocked), so the
+		// flags are stable. A spinning waiter is committed; a parked one —
+		// promoted head included — abandons its queue slot.
+		l.e.schedule(deadline, func() {
+			if w.granted || abandoned || w.t.spinning {
+				return
+			}
+			if w.promoted && l.p.Prefetch {
+				return // about to spin: committed
+			}
+			abandoned = true
+			if l.next == w {
+				l.next = nil
+				l.promoteHead(nil)
+			} else {
+				l.removeParked(w)
+			}
+			l.wake(w)
+		})
+	}
+	if w.promoted && l.p.Prefetch {
+		l.armSliceEnd()
+		t.spin() // granted via grantNext
+		l.finishGrant(w, t)
+		return true
+	}
+	t.Compute(l.e.cfg.Cost.ParkCPU)
+	for {
+		if w.granted {
+			break
+		}
+		if abandoned {
+			return false
+		}
+		if w.promoted && l.p.Prefetch {
+			l.armSliceEnd()
+			t.spin()
+			break
+		}
+		if w.promoted {
+			l.armSliceEnd()
+		}
+		w.parkedAt = true
+		t.park()
+		w.parkedAt = false
+		w.wakePending = false
+	}
+	l.finishGrant(w, t)
+	return true
+}
+
+// removeParked detaches an abandoning waiter from the parked queue.
+func (l *USCL) removeParked(w *usclWaiter) {
+	for i, x := range l.parked {
+		if x == w {
+			l.parked = append(l.parked[:i], l.parked[i+1:]...)
+			return
+		}
+	}
+}
+
+// CloseEntity deregisters t's accounting entity, mirroring
+// scl.Handle.Close: its usage history leaves the books, and — because
+// deregistering the slice owner frees a reserved lock whose armed
+// slice-end event no longer matches — a stranded head waiter is handed
+// the lock immediately. The caller must not hold the lock. A later
+// Lock/LockTimeout by the same task re-registers the entity afresh.
+func (l *USCL) CloseEntity(t *Task) {
+	if l.heldBy == t {
+		panic("sim: USCL.CloseEntity while holding the lock")
+	}
+	l.acct.Unregister(t.Entity())
+	if l.heldBy == nil && !l.transfer {
+		if _, ok := l.acct.SliceOwner(); !ok && l.next != nil {
+			l.transferOwnership()
+		}
+	}
+}
+
 // inheritPriority boosts the current holder to the waiter's weight when
 // priority inheritance is enabled and the waiter outranks it.
 func (l *USCL) inheritPriority(waiter *Task) {
