@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build build-matrix vet test race race-debug review-gate docs-check check-explore oracle bench bench-all
+.PHONY: check build build-matrix vet test race race-debug review-gate docs-check check-explore oracle scenarios bench bench-all
 
 check: build build-matrix vet race race-debug review-gate docs-check
 
@@ -27,8 +27,12 @@ vet:
 test:
 	$(GO) test ./...
 
+# The simulator's fairness acceptance tests (sim: TestRWSCLRatioNineToOne
+# and friends) take ~13 minutes under the race detector on a loaded
+# machine, past go test's default 10-minute per-package timeout — give
+# every package generous headroom; a genuine hang still fails.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # The lock package once more with the scldebug build tag: the internal
 # invariant assertions (debugChecks in mutex.go) compile to live panics
@@ -49,11 +53,24 @@ review-gate:
 docs-check:
 	$(GO) run ./cmd/doclint
 
+# The scenario corpus on both sides of the scldebug build matrix
+# (short mode: deterministic substrates only), then the corpus-wide
+# sim-vs-real differential oracle via cmd/sclscenario. Failures print
+# the scenario seed; replay with
+# `go run ./cmd/sclscenario -mode replay -scenario <name> -seed N`.
+scenarios:
+	$(GO) test -short -count=1 ./internal/scenario/...
+	$(GO) test -short -count=1 -tags scldebug ./internal/scenario/...
+	$(GO) run ./cmd/sclscenario -mode oracle
+
 # Not part of the gate: the real-lock benchmarks (fast path, contention,
-# sync-primitive baselines). Each run is appended to BENCH_scl.json by
-# cmd/benchjson, growing a benchstat-compatible performance trajectory
-# whose first entry is the pre-fast-path baseline.
-bench:
+# sync-primitive baselines) plus the scenario-corpus benchmarks
+# (BenchmarkScenario*, which carry grants/op and jain-hold metrics).
+# Each run is appended to BENCH_scl.json by cmd/benchjson, growing a
+# benchstat-compatible performance trajectory whose first entry is the
+# pre-fast-path baseline. The corpus gate (`scenarios`) runs first so a
+# broken scenario never records numbers.
+bench: scenarios
 	$(GO) test -run '^$$' -bench . -benchmem . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_scl.json
 	$(GO) run ./cmd/benchjson -compare BENCH_scl.json
 

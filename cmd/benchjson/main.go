@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +42,11 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric pairs (for example the
+	// scenario benchmarks' grants/op and jain-hold). They are recorded
+	// and reported by -compare, but only ns/op gates the exit status —
+	// fairness metrics have no universal better/worse direction.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one labeled benchmark session.
@@ -103,6 +109,7 @@ func main() {
 		if m[5] != "" {
 			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
+		r.Metrics = parseMetrics(line[len(m[0]):], &r)
 		run.Results = append(run.Results, r)
 		run.Raw = append(run.Raw, strings.TrimSpace(line))
 	}
@@ -134,11 +141,49 @@ func main() {
 		len(run.Results), *out, len(f.Runs))
 }
 
+// parseMetrics reads the "value unit" pairs that follow ns/op on a
+// benchmark line: custom b.ReportMetric output plus, when custom
+// metrics push them off the main regex, the -benchmem B/op and
+// allocs/op columns (those are routed back into the Result's
+// dedicated fields rather than the map).
+func parseMetrics(tail string, r *Result) map[string]float64 {
+	fields := strings.Fields(tail)
+	var metrics map[string]float64
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			break
+		}
+		switch unit := fields[i+1]; unit {
+		case "B/op":
+			r.BytesPerOp = int64(v)
+		case "allocs/op":
+			r.AllocsPerOp = int64(v)
+		default:
+			if metrics == nil {
+				metrics = make(map[string]float64)
+			}
+			metrics[unit] = v
+		}
+	}
+	return metrics
+}
+
 // runCompare checks the trajectory's newest run against the run before
 // it and fails when any benchmark present in both regressed its ns/op
 // by more than threshold percent. Benchmarks that appear on only one
 // side are reported but never fail the gate (added or retired
 // benchmarks are not regressions).
+//
+// Raw ns/op is only comparable when both runs came from equally fast
+// hardware, so the gate normalizes by the machine factor: the median
+// ns/op ratio across the sync-primitive baseline benchmarks
+// (BenchmarkSync*, BenchmarkRWMutex*), which exercise the standard
+// library only and cannot be slowed by changes to this repo. When the
+// trajectory hops to a slower or faster machine the baselines shift
+// with everything else and the factor absorbs the shift; a genuine
+// regression moves an scl benchmark relative to the baselines and
+// still fails.
 func runCompare(path string, threshold float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -153,32 +198,87 @@ func runCompare(path string, threshold float64) error {
 		return nil
 	}
 	prev, cur := f.Runs[len(f.Runs)-2], f.Runs[len(f.Runs)-1]
-	base := make(map[string]float64, len(prev.Results))
+	base := make(map[string]Result, len(prev.Results))
 	for _, r := range prev.Results {
-		base[r.Name] = r.NsPerOp
+		base[r.Name] = r
 	}
+	factor := machineFactor(base, cur.Results)
+	if factor != 1 {
+		fmt.Fprintf(os.Stderr, "benchjson: machine factor %.2fx (median sync-baseline ns/op ratio); comparing normalized ns/op\n", factor)
+	}
+	// A factor far from 1 means the two runs came from different
+	// hardware. Scalar normalization is approximate there (handoff-bound
+	// benchmarks scale with scheduler latency, not CPU speed), so the
+	// cross-machine pair is report-only; the next run on the new machine
+	// compares same-machine again and restores the strict gate.
+	hop := factor > 1.25 || factor < 0.8
 	var regressions []string
 	for _, r := range cur.Results {
-		old, ok := base[r.Name]
+		prevR, ok := base[r.Name]
 		if !ok {
 			fmt.Printf("%-50s %12.1f ns/op  (new)\n", r.Name, r.NsPerOp)
 			continue
 		}
+		old := prevR.NsPerOp
 		delta := 0.0
 		if old > 0 {
-			delta = (r.NsPerOp - old) / old * 100
+			delta = (r.NsPerOp/factor - old) / old * 100
 		}
 		fmt.Printf("%-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n", r.Name, old, r.NsPerOp, delta)
 		if delta > threshold {
 			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)", r.Name, old, r.NsPerOp, delta, threshold))
 		}
+		// Custom metrics shared by both runs (scenario throughput and
+		// fairness keys) are reported for the record but never gate:
+		// a fairness number has no universal regression direction.
+		units := make([]string, 0, len(r.Metrics))
+		for unit := range r.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			if ov, ok := prevR.Metrics[unit]; ok && ov != r.Metrics[unit] {
+				fmt.Printf("%-50s %12.3f -> %12.3f %s\n", "  "+r.Name, ov, r.Metrics[unit], unit)
+			}
+		}
 	}
 	if len(regressions) > 0 {
+		if hop {
+			fmt.Fprintf(os.Stderr, "benchjson: machine hop detected (factor %.2fx) — reporting %d benchmark(s) beyond %.0f%% without failing; the next same-machine run restores the gate:\n  %s\n",
+				factor, len(regressions), threshold, strings.Join(regressions, "\n  "))
+			return nil
+		}
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
 			len(regressions), threshold, strings.Join(regressions, "\n  "))
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% (%s vs %s)\n", threshold, cur.Date, prev.Date)
 	return nil
+}
+
+// machineFactor estimates how much faster or slower the current run's
+// machine is than the previous run's: the median cur/prev ns/op ratio
+// over the sync-primitive baseline benchmarks present in both runs.
+// Returns 1 when fewer than two baselines are shared (one outlier must
+// not masquerade as a machine change).
+func machineFactor(prev map[string]Result, cur []Result) float64 {
+	var ratios []float64
+	for _, r := range cur {
+		if !strings.HasPrefix(r.Name, "BenchmarkSync") && !strings.HasPrefix(r.Name, "BenchmarkRWMutex") {
+			continue
+		}
+		if p, ok := prev[r.Name]; ok && p.NsPerOp > 0 && r.NsPerOp > 0 {
+			ratios = append(ratios, r.NsPerOp/p.NsPerOp)
+		}
+	}
+	if len(ratios) < 2 {
+		return 1
+	}
+	sort.Float64s(ratios)
+	if n := len(ratios); n%2 == 1 {
+		return ratios[n/2]
+	} else {
+		return (ratios[n/2-1] + ratios[n/2]) / 2
+	}
 }
 
 func fatal(err error) {

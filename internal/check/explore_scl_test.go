@@ -10,20 +10,41 @@ package check_test
 
 import (
 	"flag"
+	"path/filepath"
 	"testing"
 
 	"scl/internal/check"
 	"scl/internal/check/workloads"
+	"scl/internal/scenario"
 )
 
 var (
 	seedFlag = flag.Int64("check.seed", 0,
 		"replay this schedule seed against the selected workload instead of exploring")
 	workloadFlag = flag.String("check.workload", "mutex-churn",
-		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn")
+		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, scenario")
 	schedulesFlag = flag.Int("check.schedules", 0,
 		"override the exploration budget (number of schedules)")
+	scenarioFlag = flag.String("check.scenario", "",
+		"scenario file for -check.workload=scenario (bare names resolve in ../scenario/testdata)")
 )
+
+// scenarioWorkload compiles a scenario file into an explorable
+// workload (see scenario.Workload).
+func scenarioWorkload(t *testing.T, path string) check.Workload {
+	if filepath.Ext(path) == "" {
+		path = filepath.Join("..", "scenario", "testdata", path+scenario.CorpusExt)
+	}
+	s, err := scenario.LoadFile(path)
+	if err != nil {
+		t.Fatalf("-check.scenario: %v", err)
+	}
+	c, err := scenario.Compile(s)
+	if err != nil {
+		t.Fatalf("-check.scenario: %v", err)
+	}
+	return scenario.Workload(c)
+}
 
 // namedWorkload returns the workload a -check.seed replay targets.
 func namedWorkload(t *testing.T, name string) check.Workload {
@@ -34,6 +55,11 @@ func namedWorkload(t *testing.T, name string) check.Workload {
 		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
 	case "rw-churn":
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
+	case "scenario":
+		if *scenarioFlag == "" {
+			t.Fatalf("-check.workload=scenario needs -check.scenario=<file>")
+		}
+		return scenarioWorkload(t, *scenarioFlag)
 	default:
 		t.Fatalf("unknown -check.workload %q", name)
 		return check.Workload{}
@@ -134,6 +160,47 @@ func TestExploreRWChurn(t *testing.T) {
 		t.Fatalf("exploration failed:\n%v", sum.Failure)
 	}
 	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreScenarioCorpus runs PCT schedule exploration over every
+// scenario in the starter corpus: each compiled scenario becomes an
+// explorable workload (scenario.Workload) asserting mutual exclusion,
+// accountant conservation, and full teardown on every schedule.
+// Failures print a seed replayable with
+//
+//	go test ./internal/check -run TestExplore \
+//	    -check.seed=<seed> -check.workload=scenario -check.scenario=<name>
+func TestExploreScenarioCorpus(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	corpus, err := scenario.LoadCorpus(filepath.Join("..", "scenario", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	if *schedulesFlag > 0 {
+		n = *schedulesFlag
+	}
+	for _, s := range corpus {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c, err := scenario.Compile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := scenario.Workload(c)
+			sum := check.Explore(check.Opts{Schedules: n, Seed: int64(s.Seed), Mode: "pct", Depth: 3}, w)
+			if sum.Failure != nil {
+				t.Fatalf("exploration failed (replay with -check.workload=scenario -check.scenario=%s):\n%v",
+					s.Name, sum.Failure)
+			}
+			t.Logf("%d runs, %d distinct schedules, %d total steps", sum.Runs, sum.Distinct, sum.Steps)
+		})
+	}
 }
 
 // TestExploreMutexDFS enumerates a small two-entity scenario

@@ -49,16 +49,25 @@ func TestGroupCommit(t *testing.T) {
 
 func TestCostGrowsWithSize(t *testing.T) {
 	// The defining Table 1 property: a 100K write holds the journal lock
-	// far longer than a 1K write.
+	// far longer than a 1K write. Each size takes the best of several
+	// timings so transient scheduler load (e.g. sibling -race packages
+	// running in parallel under go test ./...) cannot inflate the small
+	// measurement and collapse the ratio.
 	measure := func(size int) time.Duration {
 		j := New(32)
 		rec := bytes.Repeat([]byte{0xab}, size)
-		start := time.Now()
-		for i := 0; i < 50; i++ {
-			j.Append(rec)
-			j.Commit()
+		best := time.Duration(0)
+		for try := 0; try < 5; try++ {
+			start := time.Now()
+			for i := 0; i < 50; i++ {
+				j.Append(rec)
+				j.Commit()
+			}
+			if d := time.Since(start); try == 0 || d < best {
+				best = d
+			}
 		}
-		return time.Since(start)
+		return best
 	}
 	small := measure(1 << 10)
 	large := measure(100 << 10)

@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scl/sim"
+)
+
+// Compiled is a scenario lowered to a deterministic operation script.
+// Exactly one of Mutex/RW is non-nil, matching the scenario's lock
+// kind. All randomness was consumed at compile time, so the same
+// (scenario, seed) pair always yields a byte-identical script — the
+// property the tri-substrate runner and the differential oracle rest
+// on.
+type Compiled struct {
+	// Scenario is the source scenario.
+	Scenario *Scenario
+	// Seed is the seed actually used (the scenario's, unless
+	// overridden at compile time).
+	Seed int64
+	// Mutex is the u-SCL script (mutex scenarios).
+	Mutex *sim.Script
+	// RW is the RW-SCL script (rw scenarios).
+	RW *sim.RWScript
+	// Names are the entity names, indexed by script entity index.
+	Names []string
+	// GroupOf maps a script entity index to its scenario group index.
+	GroupOf []int
+	// Acquires is the number of scripted acquire operations per
+	// entity — the expected grant count when nothing times out.
+	Acquires []int
+}
+
+// TotalAcquires returns the scripted acquire count across entities.
+func (c *Compiled) TotalAcquires() int {
+	n := 0
+	for _, a := range c.Acquires {
+		n += a
+	}
+	return n
+}
+
+// Compile lowers the scenario with its own seed.
+func Compile(s *Scenario) (*Compiled, error) { return CompileSeed(s, s.Seed) }
+
+// CompileSeed lowers the scenario with an explicit seed override,
+// sampling every arrival gap and critical-section length up front.
+func CompileSeed(s *Scenario, seed int64) (*Compiled, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{Scenario: s, Seed: seed}
+	for gi := range s.Groups {
+		g := &s.Groups[gi]
+		for i := 0; i < g.Count; i++ {
+			rng := rand.New(rand.NewSource(entitySeed(seed, gi, i)))
+			ops, acquires := compileEntity(g, i, rng)
+			name := fmt.Sprintf("%s%d", g.Name, i)
+			start := g.Start + time.Duration(i)*g.Stagger
+			c.Names = append(c.Names, name)
+			c.GroupOf = append(c.GroupOf, gi)
+			c.Acquires = append(c.Acquires, acquires)
+			if s.Lock == LockRW {
+				if c.RW == nil {
+					c.RW = &sim.RWScript{
+						Period:      s.Period,
+						ReadWeight:  s.ReadWeight,
+						WriteWeight: s.WriteWeight,
+						Horizon:     s.Horizon,
+					}
+				}
+				c.RW.Entities = append(c.RW.Entities, sim.RWScriptEntity{
+					Name: name, Writer: g.Writer, Start: start, Ops: ops,
+				})
+			} else {
+				if c.Mutex == nil {
+					c.Mutex = &sim.Script{Slice: s.Slice, Horizon: s.Horizon}
+				}
+				c.Mutex.Entities = append(c.Mutex.Entities, sim.ScriptEntity{
+					Name: name, Start: start, Ops: ops,
+				})
+			}
+		}
+	}
+	return c, nil
+}
+
+// compileEntity samples one entity's operation list: for each arrival,
+// a think op for the gap (when non-zero) followed by the acquire with
+// a sampled critical section; cancellable acquires carry the group
+// timeout, and close-every inserts an OpClose after every n-th
+// acquisition (the next acquire re-registers the entity).
+func compileEntity(g *Group, idx int, rng *rand.Rand) ([]sim.ScriptOp, int) {
+	gapper := g.newGapper(idx, g.Count, rng)
+	var ops []sim.ScriptOp
+	acquires := 0
+	for {
+		gap, ok := gapper.NextGap()
+		if !ok {
+			break
+		}
+		if gap > 0 {
+			ops = append(ops, sim.ScriptOp{Kind: sim.OpThink, Think: gap})
+		}
+		cs := g.CS.Sample(rng)
+		if g.Timeout > 0 {
+			ops = append(ops, sim.ScriptOp{Kind: sim.OpAcquireTimeout, Hold: cs, Timeout: g.Timeout})
+		} else {
+			ops = append(ops, sim.ScriptOp{Kind: sim.OpAcquire, Hold: cs})
+		}
+		acquires++
+		if g.CloseEvery > 0 && acquires%g.CloseEvery == 0 {
+			ops = append(ops, sim.ScriptOp{Kind: sim.OpClose})
+		}
+	}
+	return ops, acquires
+}

@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// CorpusExt is the scenario file extension.
+const CorpusExt = ".scn"
+
+// LoadFile parses one scenario file.
+func LoadFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadCorpus parses every *.scn file under dir (sorted by name, so
+// corpus order is stable across platforms).
+func LoadCorpus(dir string) ([]*Scenario, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), CorpusExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no %s files in %s", CorpusExt, dir)
+	}
+	out := make([]*Scenario, 0, len(names))
+	for _, name := range names {
+		s, err := LoadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

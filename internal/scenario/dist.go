@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Quantum is the virtual-time grid every random draw is rounded to.
+// The differential oracle compares the sim and check substrates, and
+// the simulator charges nanosecond-scale micro-architectural costs the
+// checker's virtual clock does not; keeping all scenario-driven events
+// on a coarse grid (three orders of magnitude above that jitter) means
+// no discrete outcome rides on it.
+const Quantum = 50 * time.Microsecond
+
+// quantize rounds d up to the quantum grid, with a one-quantum floor
+// so no draw degenerates to a zero-length event.
+func quantize(d time.Duration) time.Duration {
+	if d <= 0 {
+		return Quantum
+	}
+	q := (d + Quantum - 1) / Quantum * Quantum
+	if q < Quantum {
+		return Quantum
+	}
+	return q
+}
+
+// Sample draws one quantized duration.
+func (d Dist) Sample(rng *rand.Rand) time.Duration {
+	switch d.Kind {
+	case DistUniform:
+		span := int64(d.B - d.A)
+		if span <= 0 {
+			return quantize(d.A)
+		}
+		return quantize(d.A + time.Duration(rng.Int63n(span+1)))
+	case DistExp:
+		// Exponential with mean A, capped at 8x so a single draw cannot
+		// blow past a scenario's horizon.
+		v := time.Duration(rng.ExpFloat64() * float64(d.A))
+		if max := 8 * d.A; v > max {
+			v = max
+		}
+		return quantize(v)
+	default:
+		return quantize(d.A)
+	}
+}
+
+// Gapper produces the virtual-time gap to wait before each successive
+// request, relative to the completion of the previous operation (the
+// paced-closed-loop execution model shared by all substrates). ok
+// reports false when the process is exhausted.
+type Gapper interface {
+	NextGap() (gap time.Duration, ok bool)
+}
+
+// closedGapper draws each gap from the think distribution.
+type closedGapper struct {
+	think Dist
+	rng   *rand.Rand
+	left  int
+}
+
+// NextGap draws the next think gap.
+func (g *closedGapper) NextGap() (time.Duration, bool) {
+	if g.left == 0 {
+		return 0, false
+	}
+	g.left--
+	return g.think.Sample(g.rng), true
+}
+
+// poissonGapper draws exponential inter-arrival gaps.
+type poissonGapper struct {
+	mean Dist
+	rng  *rand.Rand
+	left int
+}
+
+// NextGap draws the next exponential gap.
+func (g *poissonGapper) NextGap() (time.Duration, bool) {
+	if g.left == 0 {
+		return 0, false
+	}
+	g.left--
+	return g.mean.Sample(g.rng), true
+}
+
+// SteppedTimes expands a stepped-load schedule into the absolute
+// dispatch times of every request: step i spans [i*step, (i+1)*step)
+// and dispatches counts[i] requests evenly spaced from the exact step
+// boundary. The boundaries are exact multiples of step by
+// construction; within a step, request j fires at boundary +
+// j*(step/counts[i]) (integer division, so spacing truncates toward
+// the boundary rather than drifting past it). A zero count yields an
+// idle step.
+func SteppedTimes(step time.Duration, counts []int) []time.Duration {
+	var out []time.Duration
+	for i, c := range counts {
+		boundary := time.Duration(i) * step
+		if c <= 0 {
+			continue
+		}
+		gap := step / time.Duration(c)
+		for j := 0; j < c; j++ {
+			out = append(out, boundary+time.Duration(j)*gap)
+		}
+	}
+	return out
+}
+
+// steppedGapper round-robins a stepped schedule's dispatch times over
+// a group of n entities and yields entity idx's share as successive
+// gaps (diffs of its own subsequence, the first measured from the
+// entity's start).
+type steppedGapper struct {
+	times []time.Duration
+	prev  time.Duration
+	pos   int
+	n     int
+}
+
+// newSteppedGapper builds entity idx-of-n's gap stream from the
+// schedule.
+func newSteppedGapper(a Arrival, idx, n int) *steppedGapper {
+	all := SteppedTimes(a.Step, a.Counts)
+	var mine []time.Duration
+	for k := idx; k < len(all); k += n {
+		mine = append(mine, all[k])
+	}
+	return &steppedGapper{times: mine, n: n}
+}
+
+// NextGap returns the gap to the entity's next scheduled dispatch.
+func (g *steppedGapper) NextGap() (time.Duration, bool) {
+	if g.pos >= len(g.times) {
+		return 0, false
+	}
+	t := g.times[g.pos]
+	g.pos++
+	gap := t - g.prev
+	g.prev = t
+	if gap < 0 {
+		gap = 0
+	}
+	return gap, true
+}
+
+// newGapper builds entity idx-of-n's gap stream for the group's
+// declared arrival process.
+func (g *Group) newGapper(idx, n int, rng *rand.Rand) Gapper {
+	switch g.Arrival.Kind {
+	case ArrivalPoisson:
+		return &poissonGapper{mean: Dist{Kind: DistExp, A: g.Arrival.Mean}, rng: rng, left: g.Ops}
+	case ArrivalStepped:
+		return newSteppedGapper(g.Arrival, idx, n)
+	default:
+		return &closedGapper{think: g.Think, rng: rng, left: g.Ops}
+	}
+}
+
+// entitySeed derives one entity's RNG seed from the scenario seed
+// (splitmix64 over (seed, group, index)), so adding a group or an
+// entity never perturbs the draws of the others.
+func entitySeed(seed int64, group, idx int) int64 {
+	z := uint64(seed) ^ (0x9e3779b97f4a7c15 * (uint64(group)*1_000_003 + uint64(idx) + 1))
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = math.MaxUint64 / 7
+	}
+	return int64(z)
+}

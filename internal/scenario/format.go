@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the scenario in canonical form: fixed field order,
+// tab indentation, defaults omitted, comments dropped. Format is the
+// parser's fixpoint — Parse(Format(s)) yields a scenario whose Format
+// is byte-identical — which is what the fuzz target holds the grammar
+// to.
+func Format(s *Scenario) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s {\n", s.Name)
+	if s.Lock == LockRW {
+		rw, ww := s.ReadWeight, s.WriteWeight
+		fmt.Fprintf(&b, "\tlock rw %d %d\n", rw, ww)
+		if s.Period != 0 {
+			fmt.Fprintf(&b, "\tperiod %s\n", s.Period)
+		}
+	} else {
+		b.WriteString("\tlock mutex\n")
+		if s.Slice != 0 {
+			fmt.Fprintf(&b, "\tslice %s\n", s.Slice)
+		}
+	}
+	if s.Seed != 0 {
+		fmt.Fprintf(&b, "\tseed %d\n", s.Seed)
+	}
+	if s.Horizon != 0 {
+		fmt.Fprintf(&b, "\thorizon %s\n", s.Horizon)
+	}
+	for i := range s.Groups {
+		g := &s.Groups[i]
+		fmt.Fprintf(&b, "\tgroup %s %d {\n", g.Name, g.Count)
+		if s.Lock == LockRW {
+			class := "reader"
+			if g.Writer {
+				class = "writer"
+			}
+			fmt.Fprintf(&b, "\t\tclass %s\n", class)
+		}
+		if g.Start != 0 {
+			fmt.Fprintf(&b, "\t\tstart %s\n", g.Start)
+		}
+		if g.Stagger != 0 {
+			fmt.Fprintf(&b, "\t\tstagger %s\n", g.Stagger)
+		}
+		fmt.Fprintf(&b, "\t\tarrival %s\n", g.Arrival)
+		if g.Arrival.Kind != ArrivalStepped {
+			fmt.Fprintf(&b, "\t\tops %d\n", g.Ops)
+		}
+		fmt.Fprintf(&b, "\t\tcs %s\n", g.CS)
+		if g.Arrival.Kind == ArrivalClosed {
+			fmt.Fprintf(&b, "\t\tthink %s\n", g.Think)
+		}
+		if g.Timeout > 0 {
+			fmt.Fprintf(&b, "\t\ttimeout %s\n", g.Timeout)
+		}
+		if g.CloseEvery > 0 {
+			fmt.Fprintf(&b, "\t\tclose-every %d\n", g.CloseEvery)
+		}
+		b.WriteString("\t}\n")
+	}
+	for _, a := range s.Asserts {
+		fmt.Fprintf(&b, "\tassert %s\n", a)
+	}
+	for _, code := range s.Allow {
+		fmt.Fprintf(&b, "\tallow %s\n", code)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

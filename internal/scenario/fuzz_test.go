@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParser holds the grammar to two properties on arbitrary
+// input:
+//
+//  1. the parser never panics (malformed input is an error value), and
+//  2. for input that parses, Format is a fixpoint: Format(Parse(in))
+//     reparses, and formatting the reparse is byte-identical — the
+//     canonical form is stable, so files rewritten by tooling never
+//     churn.
+//
+// The seed corpus is the starter scenario corpus plus a handful of
+// adversarial fragments.
+func FuzzScenarioParser(f *testing.F) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), CorpusExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join("testdata", e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("scenario x {}")
+	f.Add("scenario x {\n\tlock rw 1 1\n}")
+	f.Add("scenario x {\n\tgroup g 1 {\n\t\tarrival stepped 1ms 0\n\t}\n}")
+	f.Add("scenario \x00 {\n}")
+	f.Add(strings.Repeat("scenario x {\n", 100))
+	f.Add("scenario x {\n\tassert jain-hold >= 1e309\n}")
+	f.Add("scenario x {\n\tseed 99999999999999999999\n}")
+	f.Add("scenario x {\n\tgroup g 1 {\n\t\tcs uniform 1ms 1ns\n\t}\n}")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return // malformed input must only error, never panic
+		}
+		f1 := Format(s)
+		s2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\ninput:\n%q\ncanonical:\n%q", err, input, f1)
+		}
+		f2 := Format(s2)
+		if f1 != f2 {
+			t.Fatalf("format not a fixpoint\nfirst:\n%q\nsecond:\n%q", f1, f2)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden summaries in testdata/golden/. Run
+//
+//	go test ./internal/scenario -run TestScenarioGolden -update
+//
+// after an intentional scenario or summary-format change, and commit
+// the new files.
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestScenarioGolden pins the byte-exact summary table of every
+// corpus scenario on both deterministic substrates (sim and check)
+// at the scenario's own seed. Any drift is either an intentional
+// change (re-golden with -update) or a determinism regression in the
+// compiler, the simulator, or the checker-driven real lock.
+func TestScenarioGolden(t *testing.T) {
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c, err := Compile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func() string {
+				var b strings.Builder
+				b.WriteString(Summary(c, SubstrateSim, RunSim(c)))
+				checkR, err := RunCheck(c)
+				if err != nil {
+					t.Fatalf("check substrate: %v", err)
+				}
+				b.WriteString(Summary(c, SubstrateCheck, checkR))
+				return b.String()
+			}
+			got := render()
+			if again := render(); got != again {
+				t.Fatalf("%s is not run-to-run deterministic:\n%s\nvs\n%s", s.Name, got, again)
+			}
+			golden(t, s.Name+".golden", got)
+		})
+	}
+}
+
+// golden compares got against testdata/golden/<name>, rewriting the
+// file under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update after an intentional change)\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,248 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// minimal is a smallest-valid mutex scenario used as an edit base.
+const minimal = `scenario t {
+	lock mutex
+	group g 1 {
+		arrival closed
+		ops 1
+		cs fixed 1ms
+		think fixed 1ms
+	}
+}
+`
+
+func TestParseMinimal(t *testing.T) {
+	s, err := Parse(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "t" || s.Lock != LockMutex || len(s.Groups) != 1 {
+		t.Fatalf("unexpected scenario: %+v", s)
+	}
+	g := s.Groups[0]
+	if g.Name != "g" || g.Count != 1 || g.Ops != 1 || g.CS.A != time.Millisecond {
+		t.Fatalf("unexpected group: %+v", g)
+	}
+}
+
+// TestParseFull exercises every field of the grammar on both lock
+// kinds.
+func TestParseFull(t *testing.T) {
+	in := `# header comment
+scenario full {
+	lock rw 3 2
+	period 4ms
+	seed 42
+	horizon 2s
+	group readers 4 {
+		class reader
+		start 1ms     # inline comment
+		stagger 100us
+		arrival poisson 700us
+		ops 9
+		cs uniform 200us 500us
+	}
+	group writers 2 {
+		class writer
+		arrival stepped 10ms 3 0 5
+		cs exp 300us
+	}
+	assert jain-hold >= 0.85
+	assert max-share <= 0.6
+	assert grants >= 10
+	assert timeouts <= 3
+	assert no-lost-grant
+	allow hold-share
+}
+`
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Lock != LockRW || s.ReadWeight != 3 || s.WriteWeight != 2 {
+		t.Fatalf("rw weights: %+v", s)
+	}
+	if s.Period != 4*time.Millisecond || s.Seed != 42 || s.Horizon != 2*time.Second {
+		t.Fatalf("scalars: %+v", s)
+	}
+	if len(s.Groups) != 2 || len(s.Asserts) != 5 || len(s.Allow) != 1 {
+		t.Fatalf("shape: %+v", s)
+	}
+	r, w := s.Groups[0], s.Groups[1]
+	if r.Writer || r.Arrival.Kind != ArrivalPoisson || r.Arrival.Mean != 700*time.Microsecond {
+		t.Fatalf("readers group: %+v", r)
+	}
+	if !w.Writer || w.Arrival.Kind != ArrivalStepped || len(w.Arrival.Counts) != 3 || w.Arrival.Counts[1] != 0 {
+		t.Fatalf("writers group: %+v", w)
+	}
+	if s.Asserts[0].Kind != AssertJainHold || s.Asserts[0].Value != 0.85 {
+		t.Fatalf("assert 0: %+v", s.Asserts[0])
+	}
+	if s.Asserts[4].Kind != AssertNoLostGrant {
+		t.Fatalf("assert 4: %+v", s.Asserts[4])
+	}
+}
+
+// TestParseRoundTrip: Format is the parser's fixpoint on every corpus
+// scenario and on the full-grammar example.
+func TestParseRoundTrip(t *testing.T) {
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		f1 := Format(s)
+		s2, err := Parse(f1)
+		if err != nil {
+			t.Fatalf("%s: reparse of formatted form: %v\n%s", s.Name, err, f1)
+		}
+		f2 := Format(s2)
+		if f1 != f2 {
+			t.Errorf("%s: format not a fixpoint\nfirst:\n%s\nsecond:\n%s", s.Name, f1, f2)
+		}
+	}
+}
+
+// TestParseErrors: malformed inputs produce errors (with the line
+// number), never panics.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"empty", "", "unexpected end"},
+		{"no-brace", "scenario x\n", "expected `scenario"},
+		{"unclosed", "scenario x {\n\tlock mutex\n", "unexpected end"},
+		{"trailing", minimal + "extra\n", "after the scenario block"},
+		{"bad-field", "scenario x {\n\tbogus 1\n}\n", `unknown scenario field "bogus"`},
+		{"bad-group-field", strings.Replace(minimal, "\t\tops 1\n", "\t\tnope 1\n", 1), `unknown group field "nope"`},
+		{"bad-duration", strings.Replace(minimal, "cs fixed 1ms", "cs fixed xyz", 1), "duration"},
+		{"neg-count", strings.Replace(minimal, "group g 1", "group g -2", 1), "count must be positive"},
+		{"zero-ops", strings.Replace(minimal, "ops 1", "ops 0", 1), "ops must be positive"},
+		{"writer-on-mutex", strings.Replace(minimal, "\t\tarrival closed\n", "\t\tclass writer\n\t\tarrival closed\n", 1), "rw-only"},
+		{"think-on-poisson", strings.Replace(minimal, "arrival closed", "arrival poisson 1ms", 1), "closed-arrival-only"},
+		{"ops-on-stepped", strings.Replace(minimal, "arrival closed", "arrival stepped 1ms 2", 1), "derived from stepped"},
+		{"stepped-no-counts", strings.Replace(minimal, "arrival closed\n\t\tops 1", "arrival stepped 1ms", 1), "stepped"},
+		{"bad-assert-op", strings.Replace(minimal, "}\n}", "}\n\tassert jain-hold <= 0.5\n}", 1), "jain-hold"},
+		{"assert-range", strings.Replace(minimal, "}\n}", "}\n\tassert jain-hold >= 1.5\n}", 1), "[0, 1]"},
+		{"bad-allow", strings.Replace(minimal, "}\n}", "}\n\tallow nonsense\n}", 1), "unknown allow code"},
+		{"dup-group", minimal[:len(minimal)-2] + "\tgroup g 1 {\n\t\tarrival closed\n\t\tops 1\n\t\tcs fixed 1ms\n\t\tthink fixed 1ms\n\t}\n}\n", "duplicate group"},
+		{"rw-timeout", "scenario x {\n\tlock rw 1 1\n\tgroup g 1 {\n\t\tarrival closed\n\t\tops 1\n\t\tcs fixed 1ms\n\t\tthink fixed 1ms\n\t\ttimeout 1ms\n\t}\n}\n", "mutex-only"},
+		{"neg-weight", "scenario x {\n\tlock rw 0 1\n}\n", "weights must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.in)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorLineNumbers: errors point at the offending line.
+func TestParseErrorLineNumbers(t *testing.T) {
+	in := "scenario x {\n\tlock mutex\n\tbroken\n}\n"
+	_, err := Parse(in)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want a line-3 error, got %v", err)
+	}
+}
+
+// TestCompileDeterministic: one (scenario, seed) pair compiles to the
+// same script every time, and a different seed changes the draws.
+func TestCompileDeterministic(t *testing.T) {
+	s, err := LoadFile("testdata/herd.scn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Mutex.Entities) != len(b.Mutex.Entities) {
+		t.Fatal("entity count differs across compiles")
+	}
+	for i := range a.Mutex.Entities {
+		ea, eb := a.Mutex.Entities[i], b.Mutex.Entities[i]
+		if ea.Start != eb.Start || len(ea.Ops) != len(eb.Ops) {
+			t.Fatalf("entity %d differs across compiles", i)
+		}
+		for j := range ea.Ops {
+			if ea.Ops[j] != eb.Ops[j] {
+				t.Fatalf("entity %d op %d differs: %+v vs %+v", i, j, ea.Ops[j], eb.Ops[j])
+			}
+		}
+	}
+	other, err := CompileSeed(s, s.Seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Mutex.Entities {
+		for j, op := range a.Mutex.Entities[i].Ops {
+			if other.Mutex.Entities[i].Ops[j] != op {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seed produced identical draws")
+	}
+}
+
+// TestCompileQuantized: every sampled duration lands on the Quantum
+// grid (the oracle's separation discipline).
+func TestCompileQuantized(t *testing.T) {
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		c, err := Compile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stepped think gaps come from the exact tick schedule rather
+		// than the sampler, so only sampled holds are grid-checked.
+		ents := 0
+		verify := func(name string, hold time.Duration) {
+			if hold%Quantum != 0 {
+				t.Errorf("%s/%s: hold %v off the %v grid", s.Name, name, hold, Quantum)
+			}
+		}
+		if c.Mutex != nil {
+			for _, e := range c.Mutex.Entities {
+				ents++
+				for _, op := range e.Ops {
+					verify(e.Name, op.Hold)
+				}
+			}
+		} else {
+			for _, e := range c.RW.Entities {
+				ents++
+				for _, op := range e.Ops {
+					verify(e.Name, op.Hold)
+				}
+			}
+		}
+		if ents != s.Entities() {
+			t.Errorf("%s: compiled %d entities, scenario declares %d", s.Name, ents, s.Entities())
+		}
+	}
+}

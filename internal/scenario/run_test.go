@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scl/sim"
+)
+
+// TestScenarioOracleCorpus is the corpus-wide differential oracle:
+// every scenario in testdata/ runs on the simulator and on the real
+// library under the deterministic checker, and the two executions
+// must agree on grant order, timeout and ban counts, and hold shares
+// — modulo each scenario's documented allow list (and, when
+// grant-order is allowed, per-entity grant counts must still match).
+// The scenario's declared assertions must hold on both sides.
+func TestScenarioOracleCorpus(t *testing.T) {
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) < 6 {
+		t.Fatalf("starter corpus shrank to %d scenarios (want >= 6)", len(corpus))
+	}
+	for _, s := range corpus {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c, err := Compile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			allowed, undocumented, err := Diff(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range undocumented {
+				t.Errorf("undocumented divergence (replay: sclscenario -mode replay -scenario %s -seed %d): %v", s.Name, c.Seed, d)
+			}
+			for _, d := range allowed {
+				t.Logf("documented divergence: %v", d)
+			}
+			simR := RunSim(c)
+			for _, aerr := range EvalAsserts(s, simR, SubstrateSim) {
+				t.Errorf("sim: %v", aerr)
+			}
+			checkR, err := RunCheck(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, aerr := range EvalAsserts(s, checkR, SubstrateCheck) {
+				t.Errorf("check: %v", aerr)
+			}
+		})
+	}
+}
+
+// TestScenarioWall runs the whole corpus on the wall-clock substrate:
+// real goroutines, real sleeps, the real lock. Only structural
+// assertions gate here (grant floors, completion within the
+// watchdog); the deterministic substrates own the timing-sensitive
+// ones.
+func TestScenarioWall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall substrate sleeps real time")
+	}
+	corpus, err := LoadCorpus("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range corpus {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			c, err := Compile(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := RunWall(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, aerr := range EvalAsserts(s, r, SubstrateWall) {
+				t.Errorf("wall: %v", aerr)
+			}
+			// Every scripted acquire either granted or (for cancellable
+			// acquires) timed out — nothing silently vanished.
+			total := 0
+			for _, n := range r.Timeouts {
+				total += n
+			}
+			if got := len(r.Grants) + total; got != c.TotalAcquires() {
+				t.Errorf("grants %d + timeouts %d != scripted acquires %d", len(r.Grants), total, c.TotalAcquires())
+			}
+		})
+	}
+}
+
+// TestEvalAsserts exercises the assertion evaluator's pass, fail, and
+// wall-skip behaviour on a hand-built result.
+func TestEvalAsserts(t *testing.T) {
+	s := &Scenario{
+		Name: "x",
+		Asserts: []Assert{
+			{Kind: AssertJainHold, Value: 0.99},
+			{Kind: AssertMaxShare, Value: 0.5},
+			{Kind: AssertGrants, N: 5},
+			{Kind: AssertTimeouts, N: 0},
+			{Kind: AssertNoLostGrant},
+		},
+	}
+	// Skewed result: entity 0 hogged, one timeout, 4 grants.
+	r := sim.ScriptResult{
+		Grants:   []int{0, 0, 0, 1},
+		Timeouts: []int{0, 1},
+		Bans:     []int{0, 0},
+		Hold:     []time.Duration{9 * time.Millisecond, 1 * time.Millisecond},
+	}
+	errs := EvalAsserts(s, r, SubstrateSim)
+	if len(errs) != 4 { // jain, max-share, grants, timeouts all fail
+		t.Fatalf("want 4 failures on sim, got %d: %v", len(errs), errs)
+	}
+	for _, want := range []string{"jain-hold", "max-share", "grants", "timeouts"} {
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no failure mentions %s: %v", want, errs)
+		}
+	}
+	// On wall, only the structural grants floor applies.
+	errs = EvalAsserts(s, r, SubstrateWall)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "grants") {
+		t.Fatalf("want exactly the grants failure on wall, got %v", errs)
+	}
+	// A balanced result passes everything.
+	ok := sim.ScriptResult{
+		Grants:   []int{0, 1, 0, 1, 0, 1},
+		Timeouts: []int{0, 0},
+		Bans:     []int{0, 0},
+		Hold:     []time.Duration{5 * time.Millisecond, 5 * time.Millisecond},
+	}
+	if errs := EvalAsserts(s, ok, SubstrateCheck); len(errs) != 0 {
+		t.Fatalf("balanced result should pass: %v", errs)
+	}
+}
+
+// TestSummaryShape sanity-checks the summary table against a tiny
+// scenario without pinning bytes (the goldens do that).
+func TestSummaryShape(t *testing.T) {
+	s, err := Parse(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Summary(c, SubstrateSim, RunSim(c))
+	for _, want := range []string{"scenario t lock mutex", "substrate sim", "g0", "total grants 1", "order g0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package scl_test
+
+// Scenario-level benchmarks: each corpus scenario runs end to end on
+// the two deterministic substrates (the simulator and the real lock
+// under the deterministic checker), reporting throughput (grants/op)
+// and fairness (jain-hold) alongside ns/op. `make bench` records the
+// keys in BENCH_scl.json, so the trajectory tracks how scenario-scale
+// behaviour — not just single-operation latency — evolves.
+//
+// The wall-clock substrate is deliberately absent here: its iterations
+// sleep real time, which makes b.N scaling both slow and noisy. Wall
+// coverage lives in TestScenarioWall and `make scenarios`.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scl/internal/scenario"
+)
+
+func benchScenario(b *testing.B, name, substrate string) {
+	s, err := scenario.LoadFile(filepath.Join("internal", "scenario", "testdata", name+scenario.CorpusExt))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := scenario.Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var grants int
+	var jain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := scenario.Run(c, substrate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grants = len(r.Grants)
+		jain = scenario.JainHold(r)
+	}
+	b.ReportMetric(float64(grants), "grants/op")
+	b.ReportMetric(jain, "jain-hold")
+}
+
+func benchScenarioCorpus(b *testing.B, substrate string) {
+	for _, name := range []string{"ramp", "diurnal", "herd", "reader-flood", "tenant-churn", "cancel-storm"} {
+		name := name
+		b.Run(name, func(b *testing.B) { benchScenario(b, name, substrate) })
+	}
+}
+
+func BenchmarkScenarioSim(b *testing.B)   { benchScenarioCorpus(b, scenario.SubstrateSim) }
+func BenchmarkScenarioCheck(b *testing.B) { benchScenarioCorpus(b, scenario.SubstrateCheck) }
