@@ -8,6 +8,7 @@ package scl_test
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -459,9 +460,9 @@ func benchSyncContended(b *testing.B, n int) {
 	benchContended(b, n, func() sync.Locker { return &m })
 }
 
-func BenchmarkMutexContended2(b *testing.B)  { benchMutexContended(b, 2) }
-func BenchmarkMutexContended8(b *testing.B)  { benchMutexContended(b, 8) }
-func BenchmarkMutexContended32(b *testing.B) { benchMutexContended(b, 32) }
+func BenchmarkMutexContended2(b *testing.B)      { benchMutexContended(b, 2) }
+func BenchmarkMutexContended8(b *testing.B)      { benchMutexContended(b, 8) }
+func BenchmarkMutexContended32(b *testing.B)     { benchMutexContended(b, 32) }
 func BenchmarkSyncMutexContended2(b *testing.B)  { benchSyncContended(b, 2) }
 func BenchmarkSyncMutexContended8(b *testing.B)  { benchSyncContended(b, 8) }
 func BenchmarkSyncMutexContended32(b *testing.B) { benchSyncContended(b, 32) }
@@ -486,5 +487,50 @@ func BenchmarkRWMutexReaderReacquire(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		l.RLock()
 		l.RUnlock()
+	}
+}
+
+// benchRWReadScale measures the shared fast path with n concurrent
+// reader goroutines inside one long read slice — the fan-in the
+// distributed read indicator exists for. Near-flat ns/op as n grows is
+// the target; a centralized reader count collapses here instead. The
+// iteration budget is claimed in chunks so the harness's own counter
+// does not become the centralized hot word the lock no longer has.
+func benchRWReadScale(b *testing.B, readers int) {
+	l := scl.NewRWLock(1, 1, time.Hour)
+	b.ReportAllocs()
+	const chunk = 512
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				base := next.Add(chunk) - chunk
+				if base >= int64(b.N) {
+					return
+				}
+				end := base + chunk
+				if end > int64(b.N) {
+					end = int64(b.N)
+				}
+				for i := base; i < end; i++ {
+					l.RLock()
+					l.RUnlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkRWReadScale runs the reader-scaling ladder recorded in
+// BENCH_scl.json; cmd/benchjson -compare gates regressions at every
+// rung, so a reader-side scalability collapse fails `make bench`.
+func BenchmarkRWReadScale(b *testing.B) {
+	for _, n := range []int{2, 8, 32, 128} {
+		b.Run(strconv.Itoa(n), func(b *testing.B) { benchRWReadScale(b, n) })
 	}
 }

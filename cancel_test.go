@@ -97,20 +97,36 @@ func TestLockContextCancelWhileParked(t *testing.T) {
 	}
 }
 
+// banHog builds a fresh Mutex and has entity a hog the lock through its
+// whole slice against a registered peer, so a's release draws a penalty.
+// The penalty itself is deterministic in the accountant (100% usage over
+// a 50% share always exceeds the slack), but whether the hog's release
+// lands while its slice is still the expired one depends on real-clock
+// timing, so on a loaded box a single attempt can miss the window. Tests
+// that need a banned entity retry with a fresh lock until the ban lands
+// instead of skipping — the banned paths must never go untested.
+func banHog(t *testing.T, opts Options, hold time.Duration) (m *Mutex, a, b *Handle) {
+	t.Helper()
+	for attempt := 0; attempt < 20; attempt++ {
+		m = NewMutex(opts)
+		a = m.Register()
+		b = m.Register()
+		a.Lock()
+		time.Sleep(hold) // overrun the slice
+		a.Unlock()       // slice end: ban computed here
+		if m.Stats().Bans[a.ID()] == 1 {
+			return m, a, b
+		}
+	}
+	t.Fatal("hog setup never drew a ban in 20 attempts")
+	return nil, nil, nil
+}
+
 // TestLockContextCancelDuringBan cancels an acquire that is sleeping out a
 // penalty: the call returns promptly — well before the ban would have
 // ended — and the cancel is counted.
 func TestLockContextCancelDuringBan(t *testing.T) {
-	m := NewMutex(Options{Slice: 40 * time.Millisecond})
-	a := m.Register()
-	m.Register() // a peer, so A's 100% usage draws a penalty
-
-	a.Lock()
-	time.Sleep(50 * time.Millisecond) // overrun the 40ms slice
-	a.Unlock()                        // slice end: ban computed here
-	if s := m.Stats(); s.Bans[a.ID()] != 1 {
-		t.Skipf("setup did not draw a ban (bans=%d)", s.Bans[a.ID()])
-	}
+	m, a, _ := banHog(t, Options{Slice: 40 * time.Millisecond}, 50*time.Millisecond)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
 	defer cancel()

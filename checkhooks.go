@@ -23,6 +23,24 @@ import (
 // one. Mixing (arming a real timer, then resetting it with virtual
 // delays) is not supported and is prevented by construction in the
 // checker's workloads, which build a fresh lock per explored schedule.
+//
+// Beyond the helpers below, the locks mark their lock-free races as
+// named check.Point decision sites the explorer reorders. The RW-SCL's
+// distributed read indicator adds two to the packed-word set:
+//
+//   - "rw.shard.rlock": between a fast reader publishing its shard +1
+//     and revalidating the state word — the sweep-vs-incoming-reader
+//     race. A sweep scheduled here sees the +1 of a reader that may yet
+//     undo itself, and must only ever be delayed by it, never admit a
+//     writer over it.
+//   - "rw.shard.runlock": before a fast release picks the shard its -1
+//     lands on.
+//   - "rw.phaseflip.sweep": in grantLocked, before the write-phase
+//     drain sums the shards to decide whether the writer may enter.
+//
+// Shard selection itself is schedule-stable under the checker: it keys
+// off check.GID (the managed goroutine's spawn index), not runtime
+// identity, so a replayed seed takes identical branches.
 
 // lockTimer abstracts the one-shot slice/phase timers so the checker
 // can substitute virtual-clock timers for time.AfterFunc. Both

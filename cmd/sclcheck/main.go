@@ -32,7 +32,7 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "explore", "explore, replay, dfs, or oracle")
-		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, or rw-churn")
+		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, rw-churn, or rw-shard")
 		schedules = flag.Int("schedules", 20000, "exploration budget (explore mode)")
 		seed      = flag.Int64("seed", 1, "base seed (explore) or schedule seed (replay)")
 		strategy  = flag.String("strategy", "pct", "schedule chooser for explore mode: pct or random")
@@ -102,6 +102,8 @@ func pick(name string) check.Workload {
 		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
 	case "rw-churn":
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
+	case "rw-shard":
+		return workloads.RWShardSweep(workloads.RWShardOpts{Seed: 1})
 	}
 	fmt.Fprintf(os.Stderr, "unknown -workload %q\n", name)
 	os.Exit(2)

@@ -110,11 +110,16 @@
 //   - steps 8–9 (transfer to the next waiter, penalty for the over-user) —
 //     transferLocked and Accountant.OnRelease, unchanged slow path.
 //
-// RWLock packs the analogous word — {writer-active, phase, waiters,
-// reader count} — so readers during an uncontested read slice (and a lone
-// writer during a write slice) acquire and release by CAS; usage
-// integrals stay exact via an atomic interval charge per operation. A
-// k-SCL (Slice ≤ 0) has no slices and therefore no fast path.
+// RWLock packs the analogous coordination word — {writer-active, phase,
+// waiters, flip epoch} — but keeps the reader count out of it: readers
+// during an uncontested read slice publish on a BRAVO-style distributed
+// read indicator (cache-line-padded per-shard counters, shard picked per
+// goroutine) and revalidate the word, so the read fast path touches no
+// shared cache line and reader throughput stays flat as readers are
+// added. Writers sweep the shards at each phase flip and are admitted
+// only on an exact-zero sum; the fast paths are clock-free, with usage
+// charged regime-granularly by the next slow-path operation (DESIGN.md
+// §3.6). A k-SCL (Slice ≤ 0) has no slices and therefore no fast path.
 //
 // # Paper-to-code map
 //

@@ -233,10 +233,16 @@ func TestRWLockQueueSlabRelease(t *testing.T) {
 	l := NewRWLock(1, 1, time.Millisecond, WithInactiveGC(10*time.Millisecond))
 
 	// A burst: hold the write lock so a crowd of readers piles into the
-	// queue, growing the reader slab well past rwQueueKeep.
+	// queue, growing the reader slab well past rwQueueKeep. While the
+	// writer is active no reader can be granted (grantLocked's read
+	// branch refuses under rwWActive) and the fast path is blocked, so
+	// every reader deterministically lands in waitR — wait for the full
+	// crowd before releasing, which guarantees the slab outgrew
+	// rwQueueKeep rather than polling and skipping when it didn't.
+	const crowd = rwQueueKeep * 4
 	l.WLock()
 	var wg sync.WaitGroup
-	for i := 0; i < rwQueueKeep*4; i++ {
+	for i := 0; i < crowd; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -244,21 +250,20 @@ func TestRWLockQueueSlabRelease(t *testing.T) {
 			l.RUnlock()
 		}()
 	}
-	grew := false
-	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+	for deadline := time.Now().Add(10 * time.Second); ; {
 		l.mu.Lock()
-		grew = cap(l.waitR)+cap(l.waitW) > rwQueueKeep
+		queued := len(l.waitR)
 		l.mu.Unlock()
-		if grew {
+		if queued == crowd {
 			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d readers queued behind the held write lock", queued, crowd)
 		}
 		time.Sleep(time.Millisecond)
 	}
 	l.WUnlock()
 	wg.Wait()
-	if !grew {
-		t.Skip("waiter queue never outgrew rwQueueKeep; nothing to release")
-	}
 
 	// Idle past the threshold; snapshots drive the lazy release (the
 	// first marks the queues empty, a later one frees the slabs).

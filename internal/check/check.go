@@ -84,6 +84,21 @@ func cur() (*Sched, *goroutine) {
 	return s, g
 }
 
+// GID returns the installed scheduler's id for the calling managed
+// goroutine (its spawn index) and true, or 0 and false when no
+// scheduler is installed or the caller is unmanaged. Ids are assigned
+// in spawn order, so they are identical across replays of a seed —
+// callers use them for schedule-stable decisions that would otherwise
+// depend on runtime identity (the RWLock derives its reader-shard
+// choice from the id, keeping every schedule-visible branch
+// deterministic).
+func GID() (int, bool) {
+	if _, g := cur(); g != nil {
+		return g.id, true
+	}
+	return 0, false
+}
+
 // Point marks a schedule point: under an installed scheduler the
 // calling managed goroutine yields and the explorer chooses what runs
 // next. The name labels the decision site in traces ("mu.fast.lock",

@@ -22,7 +22,7 @@ var (
 	seedFlag = flag.Int64("check.seed", 0,
 		"replay this schedule seed against the selected workload instead of exploring")
 	workloadFlag = flag.String("check.workload", "mutex-churn",
-		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, scenario")
+		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, rw-shard, scenario")
 	schedulesFlag = flag.Int("check.schedules", 0,
 		"override the exploration budget (number of schedules)")
 	scenarioFlag = flag.String("check.scenario", "",
@@ -55,6 +55,8 @@ func namedWorkload(t *testing.T, name string) check.Workload {
 		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
 	case "rw-churn":
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
+	case "rw-shard":
+		return workloads.RWShardSweep(workloads.RWShardOpts{Seed: 1})
 	case "scenario":
 		if *scenarioFlag == "" {
 			t.Fatalf("-check.workload=scenario needs -check.scenario=<file>")
@@ -158,6 +160,47 @@ func TestExploreRWChurn(t *testing.T) {
 	sum := check.Explore(check.Opts{Schedules: n, Seed: 4, Mode: "pct", Depth: 3}, w)
 	if sum.Failure != nil {
 		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreRWShardSweep hunts sweep-vs-incoming-reader races in the
+// distributed read indicator with PCT schedules: the new decision points
+// (rw.shard.rlock, rw.shard.runlock, rw.phaseflip.sweep) let the
+// explorer interleave a write-phase shard sweep with fast readers
+// mid-publish, and the workload asserts reader-op conservation plus a
+// final write drain on every schedule.
+func TestExploreRWShardSweep(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.RWShardSweep(workloads.RWShardOpts{Seed: 7})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 7, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreRWShardDFS enumerates a minimal two-reader/one-writer
+// shard-sweep scenario exhaustively within a branching-depth bound, the
+// small-bounds counterpart to the PCT hunt above.
+func TestExploreRWShardDFS(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.RWShardSweep(workloads.RWShardOpts{Readers: 2, Writers: 1, Ops: 2, Seed: 8})
+	max := 1500
+	if testing.Short() {
+		max = 300
+	}
+	sum := check.ExploreDFS(check.DFSOpts{Depth: 10, MaxRuns: max}, w)
+	if sum.Failure != nil {
+		t.Fatalf("DFS exploration failed:\n%v", sum.Failure)
 	}
 	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
 }

@@ -252,6 +252,130 @@ func MutexContend(o ContendOpts) check.Workload {
 	}
 }
 
+// RWShardOpts configures the distributed-read-indicator sweep workload.
+type RWShardOpts struct {
+	Readers int
+	Writers int
+	Ops     int
+	Period  time.Duration
+	Seed    int64
+}
+
+// RWShardSweep targets the RW-SCL's sharded read indicator: readers
+// hammer the fast RLock/RUnlock paths (each publish/revalidate and shard
+// pick is a decision point the explorer reorders) while writers force
+// phase flips whose write-phase drain sweeps the shards. The workload
+// asserts, on every schedule, that no reader is lost or double-counted
+// across a sweep:
+//
+//   - reader/writer exclusion via shared counters, as in RWChurn;
+//   - conservation: Stats().ReaderOps (slow ops + fast shard ops) must
+//     equal the readers' own acquisition tally, so a waiter granted
+//     twice or a fast +1 dropped by the sweep is caught exactly;
+//   - drain: after every scripted op completes, a final write acquire
+//     must be granted. The drain sweep admits a writer only when the
+//     shard sum is exactly zero, so a leaked +1 (double-counted reader)
+//     parks this probe forever and surfaces as a checker deadlock, and
+//     a lost reader (sum < 0) fails CheckInvariants.
+func RWShardSweep(o RWShardOpts) check.Workload {
+	if o.Readers <= 0 {
+		o.Readers = 3
+	}
+	if o.Writers <= 0 {
+		o.Writers = 1
+	}
+	if o.Ops <= 0 {
+		o.Ops = 3
+	}
+	if o.Period == 0 {
+		o.Period = 2 * time.Millisecond
+	}
+	var l *scl.RWLock
+	acquiredR := new(int)
+	acquiredW := new(int)
+	return check.Workload{
+		Name: "rw-shard",
+		Setup: func(s *check.Sched) {
+			l = scl.NewRWLock(1, 1, o.Period)
+			*acquiredR, *acquiredW = 0, 0
+			readers := new(int)
+			writers := new(int)
+			finished := new(int)
+			total := o.Readers + o.Writers
+			checkState := func() {
+				if *writers > 1 {
+					s.Failf("%d writers active", *writers)
+				}
+				if *writers == 1 && *readers > 0 {
+					s.Failf("writer active with %d readers", *readers)
+				}
+			}
+			spawn := func(name string, e int, write bool) {
+				rng := rand.New(rand.NewSource(o.Seed*1000003 + int64(e)))
+				s.Go(name, func() {
+					for i := 0; i < o.Ops; i++ {
+						hold := time.Duration(20+rng.Intn(400)) * time.Microsecond
+						think := time.Duration(rng.Intn(800)) * time.Microsecond
+						if write {
+							l.WLock()
+							*writers++
+							*acquiredW++
+						} else {
+							l.RLock()
+							*readers++
+							*acquiredR++
+						}
+						checkState()
+						check.Sleep(hold)
+						if write {
+							*writers--
+							l.WUnlock()
+						} else {
+							*readers--
+							l.RUnlock()
+						}
+						if err := l.CheckInvariants(); err != nil {
+							s.Failf("invariants broken after op %d: %v", i, err)
+						}
+						check.Sleep(think)
+					}
+					*finished++
+				})
+			}
+			for r := 0; r < o.Readers; r++ {
+				spawn(fmt.Sprintf("r%d", r), r, false)
+			}
+			for w := 0; w < o.Writers; w++ {
+				spawn(fmt.Sprintf("w%d", w), o.Readers+w, true)
+			}
+			s.Go("drain", func() {
+				check.WaitOrDone("join", func() bool { return *finished == total }, nil)
+				l.WLock()
+				*writers++
+				*acquiredW++
+				checkState()
+				*writers--
+				l.WUnlock()
+			})
+		},
+		Validate: func() error {
+			if err := l.CheckInvariants(); err != nil {
+				return err
+			}
+			s := l.Stats()
+			if s.ReaderOps != int64(*acquiredR) {
+				return fmt.Errorf("reader op conservation broken: lock counted %d, readers acquired %d",
+					s.ReaderOps, *acquiredR)
+			}
+			if s.WriterOps != int64(*acquiredW) {
+				return fmt.Errorf("writer op conservation broken: lock counted %d, writers acquired %d",
+					s.WriterOps, *acquiredW)
+			}
+			return nil
+		},
+	}
+}
+
 // RWOpts configures the RWLock churn workload.
 type RWOpts struct {
 	Readers int

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"scl/internal/check"
 	"scl/internal/core"
@@ -25,19 +26,32 @@ import (
 //
 // # The in-slice fast path
 //
-// While a class is alone on the lock — readers during a read slice with no
-// writer queued, or a lone writer during a write slice — acquires and
-// releases are a single compare-and-swap on a packed 64-bit state word
-// {writer-active, phase, waiters, reader count}, without the internal
-// mutex. Usage integrals are kept exact by an atomic charge of the
-// interval since the previous operation under the state it observed. The
-// moment the opposite class arrives it queues under the mutex and raises
-// the waiters bit, shutting the fast path off; the slow path then credits
-// the slice-clock restarts the fast regime skipped (whole slices up to the
-// last fast operation) so the incumbent class keeps at most the remainder
-// of one slice, exactly as if every operation had refreshed the clock.
-// Installing a Tracer disables the fast path — traced operations take the
-// slow path so the event stream is identical with and without tracing.
+// While a class is alone on the lock, acquires and releases bypass the
+// internal mutex. Readers use a BRAVO-style distributed read indicator:
+// the reader count lives in rwShards cache-line-padded signed counters,
+// each fast RLock/RUnlock touching only the calling goroutine's shard,
+// so concurrent readers in a read slice never contend on a shared word.
+// The packed state word keeps only the coordination bits {writer-active,
+// phase, waiters} plus a phase-flip epoch; whenever any bit is up the
+// fast paths stand down and readers take the packed-word slow path under
+// the mutex. Writers needing the lock sweep (sum) the shards at the
+// phase flip and are admitted only when the sum reaches zero — with a
+// blocking bit set before the sweep, the sum is exact or transiently
+// inflated, never low (see DESIGN.md "Distributed read indicator").
+//
+// A lone writer in a write slice keeps a single-CAS fast path on the
+// state word, guarded against phase ABA by the epoch bits.
+//
+// Fast reader operations in real time do not read the clock — that is
+// where the win comes from — so usage integrals for fast regimes are
+// charged at regime granularity by the next slow-path operation; under
+// the deterministic checker the virtual clock is free and fast
+// operations charge exactly. The slow path credits the slice-clock
+// restarts a fast regime skipped, so the incumbent class keeps at most
+// the remainder of one slice, exactly as if every operation had
+// refreshed the clock. Installing a Tracer disables the fast path —
+// traced operations take the slow path so the event stream is identical
+// with and without tracing, and the shard sums are mutex-exact.
 type RWLock struct {
 	mu   sync.Mutex
 	ctrl *core.RWController
@@ -45,10 +59,10 @@ type RWLock struct {
 	name   string
 	tracer atomic.Pointer[Tracer]
 
-	// word packs {writer-active, phase-write, waiters, reader count}; it is
-	// the single source of truth for holder state. The fast path CASes it
-	// without mu; slow paths mutate it under mu with CAS loops that
-	// tolerate concurrent fast-path CASes.
+	// word packs {writer-active, phase-write, waiters, phase epoch}; it
+	// carries the coordination bits while the reader count lives in the
+	// shards. The fast paths CAS it without mu; slow paths mutate it
+	// under mu with CAS loops that tolerate concurrent fast-path CASes.
 	word atomic.Uint64
 
 	waitR []rwWaiter
@@ -69,17 +83,23 @@ type RWLock struct {
 	phaseFresh bool          // no acquisition has landed yet in this slice
 
 	// Usage integrals, Σ individual holds = ∫ holders(t) dt per class:
-	// every operation charges the interval since the previous one (lastAt)
-	// under the holder state it observed. All atomic — the fast path
-	// charges without mu.
+	// every slow-path operation charges the interval since the previous
+	// one (lastAt) under the holder state it observed. Real-mode fast
+	// reader operations skip the clock entirely, so a fast regime is
+	// charged in one piece by the next slow operation.
 	lastAt     atomic.Int64
 	lastFast   atomic.Int64 // most recent fast-path op; drives slice-clock credit
 	readerHold atomic.Int64
 	writerHold atomic.Int64
-	readerOps  atomic.Int64
+	readerOps  atomic.Int64 // slow-path reader acquisitions; fast ones count in shards
 	writerOps  atomic.Int64
 	idleTotal  atomic.Int64
 	createdAt  time.Duration
+
+	// fastOpsSeen is the Σ shard ops total the slow path last observed;
+	// a differing sum means fast reader activity happened since, and the
+	// slice clock is credited through the moment of discovery. l.mu held.
+	fastOpsSeen int64
 
 	// cancelled acquisitions per class (RLockContext / WLockContext
 	// returning ctx.Err()).
@@ -92,20 +112,115 @@ type RWLock struct {
 	rStart     time.Duration
 	wStart     time.Duration
 	phaseStart time.Duration
+
+	// The distributed read indicator. Signed per-shard reader counters:
+	// a lock's +1 and its unlock's -1 may land on different shards (the
+	// goroutine's stack moved, or a granted waiter released slow), so
+	// individual shards may go negative — only the sum is meaningful.
+	// The leading pad keeps shard 0 off the hot accounting cache line.
+	_      [rwCacheLine]byte
+	shards [rwShards]rwShard
 }
 
-// State-word layout. The low bits count active readers.
+// State-word layout. The low bits carry the phase-flip epoch.
 const (
 	rwWActive    = 1 << 63 // a writer holds the lock
 	rwPhaseWrite = 1 << 62 // the write slice is active (mirror of ctrl.Phase)
 	rwWaiters    = 1 << 61 // a wait queue is non-empty; fast path stands down
-	rwCount      = 1<<61 - 1
+	// rwEpoch advances at every phase flip. fastWLock's CAS covers the
+	// epoch, so "readers drained" observed under one epoch cannot admit
+	// a writer after an intervening flip let readers back in (the ABA a
+	// bare bit-compare would allow).
+	rwEpoch = 1<<61 - 1
+	// rwFastBlock are the bits that shut the reader fast path off.
+	rwFastBlock = rwWActive | rwPhaseWrite | rwWaiters
 )
+
+// Reader-shard geometry: 8 shards of one cache line each (~1KB per
+// lock). Plenty on any realistic core count for the read-slice fan-in,
+// while keeping the writer's phase-flip sweep a handful of loads.
+const (
+	rwShardBits = 3
+	rwShards    = 1 << rwShardBits
+	rwCacheLine = 128
+	rwShardPad  = rwCacheLine - 16
+)
+
+// rwShard is one slot of the distributed read indicator.
+type rwShard struct {
+	count atomic.Int64 // signed reader presence; Σ over shards = active readers
+	ops   atomic.Int64 // fast-path acquisitions through this shard
+	_     [rwShardPad]byte
+}
+
+// rwShardIndex picks the calling goroutine's reader shard. Under the
+// deterministic checker the scheduler's goroutine id keys the choice, so
+// shard selection — and with it every schedule-visible branch — replays
+// bit-identically from a seed. Otherwise a few bits of the goroutine's
+// stack address do (distinct goroutines live on distinct stack blocks).
+// A goroutine can land on a new shard if its stack is reallocated
+// mid-hold; the signed counters make that harmless. Kept out of line so
+// the probe address is taken at the same stack depth from every
+// call site, keeping lock- and unlock-side indices aligned.
+//
+//go:noinline
+func rwShardIndex() int {
+	if id, ok := check.GID(); ok {
+		return id & (rwShards - 1)
+	}
+	var probe byte
+	h := uintptr(unsafe.Pointer(&probe)) >> 9
+	return int((h ^ (h >> 6)) & (rwShards - 1))
+}
+
+// readerSum sums the read indicator. With a blocking bit up before the
+// loads the result is exact or transiently inflated by +1s about to be
+// undone; with no bit up it is a heuristic snapshot.
+func (l *RWLock) readerSum() int64 {
+	var s int64
+	for i := range l.shards {
+		s += l.shards[i].count.Load()
+	}
+	return s
+}
+
+// fastReaderOps sums the shards' acquisition counters.
+func (l *RWLock) fastReaderOps() int64 {
+	var s int64
+	for i := range l.shards {
+		s += l.shards[i].ops.Load()
+	}
+	return s
+}
+
+// decReaderLocked removes one reader from the indicator on behalf of a
+// slow-path release: the caller's own shard when it is positive (the
+// common case — the matching fast +1 landed there), else the most
+// positive shard, keeping individual counters near zero. The caller has
+// established Σ > 0, so a positive shard exists. l.mu held.
+func (l *RWLock) decReaderLocked() {
+	sh := &l.shards[rwShardIndex()]
+	if sh.count.Load() > 0 {
+		sh.count.Add(-1)
+		return
+	}
+	best, bestC := sh, int64(0)
+	for i := range l.shards {
+		if c := l.shards[i].count.Load(); c > bestC {
+			best, bestC = &l.shards[i], c
+		}
+	}
+	best.count.Add(-1)
+}
 
 // rwWaiter is one queued RLock or WLock call.
 type rwWaiter struct {
 	ch    chan struct{}
 	since time.Duration
+	// shard is the read-indicator slot a granted reader is counted in —
+	// recorded at enqueue on the waiter's own goroutine, so its later
+	// fast RUnlock finds its own shard positive.
+	shard int
 }
 
 // rwQueueKeep is the combined waiter-slab capacity an RWLock keeps even
@@ -196,20 +311,24 @@ func (l *RWLock) event(kind trace.Kind, now time.Duration, entity int64, detail 
 }
 
 // charge advances the usage integrals: the interval since the previous
-// operation is credited under the holder state w (the word observed by
-// this operation). Safe without mu — lastAt hands each interval to exactly
-// one charger.
-func (l *RWLock) charge(w uint64, now time.Duration) {
+// charge is credited under the given holder state. Safe without mu —
+// lastAt hands each interval to exactly one charger. Real-mode fast
+// reader operations never call it, so during a pure fast regime the
+// integrals pause and the next slow-path charge lands the whole regime
+// under the state it observes — regime-granular rather than
+// per-operation precision, which only the stats (not the scheduling,
+// which runs off the slice clock) can see.
+func (l *RWLock) charge(readers int64, wactive bool, now time.Duration) {
 	dt := now - time.Duration(l.lastAt.Swap(int64(now)))
 	if dt <= 0 {
 		return
 	}
-	if n := w & rwCount; n != 0 {
-		l.readerHold.Add(int64(n) * int64(dt))
+	if readers > 0 {
+		l.readerHold.Add(readers * int64(dt))
 	}
-	if w&rwWActive != 0 {
+	if wactive {
 		l.writerHold.Add(int64(dt))
-	} else if w&rwCount == 0 {
+	} else if readers <= 0 {
 		l.idleTotal.Add(int64(dt))
 	}
 }
@@ -229,53 +348,99 @@ func (l *RWLock) mutateWord(f func(uint64) uint64) uint64 {
 	}
 }
 
-// fastRLock is the read-slice fast path: one CAS bumping the reader count,
-// no mutex. Eligible only while the read slice is active with no writer
-// holding and nobody queued, and no tracer installed.
-func (l *RWLock) fastRLock(now time.Duration) bool {
-	for {
-		w := l.word.Load()
-		if w&(rwWActive|rwPhaseWrite|rwWaiters) != 0 || l.tracer.Load() != nil {
-			return false
-		}
-		check.Point("rw.fast.rlock")
-		if l.word.CompareAndSwap(w, w+1) {
-			l.charge(w, now)
-			l.lastFast.Store(int64(now))
-			l.readerOps.Add(1)
-			return true
-		}
+// fastRLock is the read-slice fast path: one Add on the caller's shard,
+// no mutex, and — in real time — no clock read. Eligible only while the
+// read slice is active with no writer holding and nobody queued, and no
+// tracer installed. The protocol is publish-then-revalidate: the +1 is
+// visible before the word is re-checked, so a phase-flip sweep that
+// raised a blocking bit before summing either sees the +1 (and waits for
+// the reader) or the reader's revalidation sees the bit (and undoes the
+// +1 before queuing). No interleaving lets a writer in on top of an
+// admitted fast reader.
+func (l *RWLock) fastRLock() bool {
+	if l.tracer.Load() != nil {
+		return false
 	}
+	if l.word.Load()&rwFastBlock != 0 {
+		return false
+	}
+	sh := &l.shards[rwShardIndex()]
+	sh.count.Add(1)
+	// The window between publishing the +1 and revalidating the word —
+	// the sweep-vs-incoming-reader race the checker explores.
+	check.Point("rw.shard.rlock")
+	if l.word.Load()&rwFastBlock != 0 {
+		// A writer arrived or the slice flipped after the first check.
+		// Undo and queue; a concurrent sweep may have counted the
+		// transient +1, which only delays the writer until this
+		// reader's slow-path advance (or the phase timer) re-sweeps.
+		sh.count.Add(-1)
+		return false
+	}
+	sh.ops.Add(1)
+	if check.Enabled() {
+		// The virtual clock is free: charge exactly, as the slow path
+		// would, so checker-run scenarios keep per-op accounting.
+		now := monotime()
+		l.charge(l.readerSum()-1, false, now)
+		l.lastFast.Store(int64(now))
+	}
+	return true
 }
 
-// fastRUnlock mirrors fastRLock for release: allowed only while nobody is
-// queued (a queued writer needs the slow path's drain-and-grant).
-func (l *RWLock) fastRUnlock(now time.Duration) bool {
-	for {
-		w := l.word.Load()
-		if w&rwWaiters != 0 || w&rwCount == 0 || l.tracer.Load() != nil {
-			return false
-		}
-		check.Point("rw.fast.runlock")
-		if l.word.CompareAndSwap(w, w-1) {
-			l.charge(w, now)
-			l.lastFast.Store(int64(now))
-			return true
-		}
+// fastRUnlock mirrors fastRLock for release: allowed only while nobody
+// is queued (a queued writer needs the slow path's drain-and-grant). The
+// -1 lands on the first positive shard scanning from the caller's own —
+// usually the very shard its +1 went to, but the scan also absorbs a
+// stack move or an inlining-dependent frame layout shifting the
+// caller's index between lock and unlock. A release that finds no
+// positive shard at all falls back to the slow path, which re-sums
+// exactly and still panics on a genuine unlock-without-lock.
+func (l *RWLock) fastRUnlock() bool {
+	if l.tracer.Load() != nil {
+		return false
 	}
+	if l.word.Load()&rwWaiters != 0 {
+		return false
+	}
+	idx := rwShardIndex()
+	check.Point("rw.shard.runlock")
+	for i := 0; i < rwShards; i++ {
+		sh := &l.shards[(idx+i)&(rwShards-1)]
+		if sh.count.Load() <= 0 {
+			continue
+		}
+		sh.count.Add(-1)
+		if check.Enabled() {
+			now := monotime()
+			l.charge(l.readerSum()+1, false, now)
+			l.lastFast.Store(int64(now))
+		}
+		return true
+	}
+	return false
 }
 
-// fastWLock is the write-slice fast path for a lone writer: eligible only
-// when the word shows exactly "write slice, idle, nobody queued".
+// fastWLock is the write-slice fast path for a lone writer: eligible
+// only during a quiet write slice (no waiters, no holder). The shard sum
+// is taken under the phase bit — which blocks new fast readers — and the
+// CAS covers the epoch, so an intervening phase flip (which could have
+// admitted readers and flipped back) fails the CAS instead of admitting
+// a writer on top of them.
 func (l *RWLock) fastWLock(now time.Duration) bool {
 	for {
 		w := l.word.Load()
-		if w != rwPhaseWrite || l.tracer.Load() != nil {
+		if w&(rwWActive|rwWaiters) != 0 || w&rwPhaseWrite == 0 || l.tracer.Load() != nil {
 			return false
 		}
 		check.Point("rw.fast.wlock")
+		if l.readerSum() != 0 {
+			// Readers still draining from the previous read slice (or a
+			// transient +1 being undone): take the queue.
+			return false
+		}
 		if l.word.CompareAndSwap(w, w|rwWActive) {
-			l.charge(w, now)
+			l.charge(0, false, now)
 			l.lastFast.Store(int64(now))
 			l.writerOps.Add(1)
 			return true
@@ -287,12 +452,12 @@ func (l *RWLock) fastWLock(now time.Duration) bool {
 func (l *RWLock) fastWUnlock(now time.Duration) bool {
 	for {
 		w := l.word.Load()
-		if w != rwPhaseWrite|rwWActive || l.tracer.Load() != nil {
+		if w&(rwWActive|rwWaiters) != rwWActive || w&rwPhaseWrite == 0 || l.tracer.Load() != nil {
 			return false
 		}
 		check.Point("rw.fast.wunlock")
-		if l.word.CompareAndSwap(w, rwPhaseWrite) {
-			l.charge(w, now)
+		if l.word.CompareAndSwap(w, w&^rwWActive) {
+			l.charge(0, true, now)
 			l.lastFast.Store(int64(now))
 			return true
 		}
@@ -302,12 +467,12 @@ func (l *RWLock) fastWUnlock(now time.Duration) bool {
 // RLock acquires the lock shared. During a write slice it blocks until
 // the read slice begins and the writer drains.
 func (l *RWLock) RLock() {
-	if l.fastRLock(monotime()) {
+	if l.fastRLock() {
 		return
 	}
 	if ch, _ := l.rlockSlow(); ch != nil {
 		if !check.WaitChan("rw.rwait", ch) {
-			<-ch // granted: reader count already bumped by the granter
+			<-ch // granted: the granter counted us in our shard
 		}
 	}
 }
@@ -322,7 +487,7 @@ func (l *RWLock) RLockContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if l.fastRLock(monotime()) {
+	if l.fastRLock() {
 		return nil
 	}
 	ch, since := l.rlockSlow()
@@ -355,11 +520,12 @@ func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
 	w := l.word.Load()
 	if l.ctrl.Phase() == core.PhaseRead && w&rwWActive == 0 {
 		l.classEntered(now)
-		l.charge(w, now)
-		if w&rwCount == 0 {
+		sum := l.readerSum()
+		l.charge(sum, false, now)
+		if sum == 0 {
 			l.rStart = now
 		}
-		l.mutateWord(func(x uint64) uint64 { return x + 1 })
+		l.shards[rwShardIndex()].count.Add(1)
 		l.readerOps.Add(1)
 		if t := l.loadTracer(); t != nil {
 			t.OnAcquire(l.event(trace.KindAcquire, now, trace.EntityReaders, 0))
@@ -368,7 +534,7 @@ func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
 		return nil, now
 	}
 	ch := make(chan struct{}, 1)
-	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now})
+	l.waitR = append(l.waitR, rwWaiter{ch: ch, since: now, shard: rwShardIndex()})
 	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
 	l.armPhaseTimer()
 	l.unlockMu()
@@ -377,29 +543,45 @@ func (l *RWLock) rlockSlow() (chan struct{}, time.Duration) {
 
 // RUnlock releases a shared hold.
 func (l *RWLock) RUnlock() {
-	now := monotime()
-	if l.fastRUnlock(now) {
+	if l.fastRUnlock() {
 		return
 	}
 	check.Point("rw.runlock.slow")
 	l.lockMu()
-	now = monotime()
-	w := l.word.Load()
-	if w&rwCount == 0 {
+	now := monotime()
+	sum := l.quiescentSumLocked()
+	if sum <= 0 {
 		l.unlockMu()
 		panic("scl: RUnlock without RLock")
 	}
-	l.charge(w, now)
-	w = l.mutateWord(func(x uint64) uint64 { return x - 1 })
+	w := l.word.Load()
+	l.charge(sum, w&rwWActive != 0, now)
+	l.decReaderLocked()
 	if t := l.loadTracer(); t != nil {
 		var busy time.Duration
-		if w&rwCount == 0 {
+		if sum == 1 {
 			busy = now - l.rStart // the union of the overlapping reads
 		}
 		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityReaders, busy))
 	}
 	l.advanceLocked(now)
 	l.unlockMu()
+}
+
+// quiescentSumLocked returns the read-indicator sum, quiescing the fast
+// path first if the plain sum comes up empty: with the waiters bit up,
+// in-flight fast locks revalidate and undo, and fast unlocks stand
+// down, so the recount cannot miss a settled reader. The bit is
+// reconciled with the queues afterwards. l.mu held.
+func (l *RWLock) quiescentSumLocked() int64 {
+	sum := l.readerSum()
+	if sum > 0 {
+		return sum
+	}
+	l.mutateWord(func(x uint64) uint64 { return x | rwWaiters })
+	sum = l.readerSum()
+	l.syncWaitersBit()
+	return sum
 }
 
 // WLock acquires the lock exclusive. During a read slice it blocks until
@@ -455,9 +637,11 @@ func (l *RWLock) wlockSlow() (chan struct{}, time.Duration) {
 	now := monotime()
 	l.advanceLocked(now)
 	w := l.word.Load()
-	if l.ctrl.Phase() == core.PhaseWrite && w&rwWActive == 0 && w&rwCount == 0 {
+	// During the write phase the phase bit blocks fast readers, so a
+	// zero sweep is definitive: no reader holds and none can enter.
+	if l.ctrl.Phase() == core.PhaseWrite && w&rwWActive == 0 && l.readerSum() == 0 {
 		l.classEntered(now)
-		l.charge(w, now)
+		l.charge(0, false, now)
 		l.mutateWord(func(x uint64) uint64 { return x | rwWActive })
 		l.writerOps.Add(1)
 		l.wStart = now
@@ -496,18 +680,19 @@ func (l *RWLock) abandonWaiter(queue *[]rwWaiter, ch chan struct{}, entity int64
 		}
 	}
 	<-ch // guaranteed present: granted before we took l.mu
-	w := l.word.Load()
-	l.charge(w, now)
 	if entity == trace.EntityReaders {
-		w = l.mutateWord(func(x uint64) uint64 { return x - 1 })
+		sum := l.readerSum()
+		l.charge(sum, false, now)
+		l.decReaderLocked()
 		if t := l.loadTracer(); t != nil {
 			var busy time.Duration
-			if w&rwCount == 0 {
+			if sum == 1 {
 				busy = now - l.rStart // the union of the overlapping reads
 			}
 			t.OnRelease(l.event(trace.KindRelease, now, entity, busy))
 		}
 	} else {
+		l.charge(0, true, now)
 		l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
 		if t := l.loadTracer(); t != nil {
 			t.OnRelease(l.event(trace.KindRelease, now, entity, now-l.wStart))
@@ -547,7 +732,7 @@ func (l *RWLock) WUnlock() {
 		l.unlockMu()
 		panic("scl: WUnlock without WLock")
 	}
-	l.charge(w, now)
+	l.charge(0, true, now)
 	l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
 	if t := l.loadTracer(); t != nil {
 		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
@@ -563,14 +748,24 @@ func (l *RWLock) WUnlock() {
 // only while nobody is queued — never touch the controller, so before any
 // phase decision the clock is advanced by whole slices up to the most
 // recent fast operation. The incumbent class then keeps at most the
-// remainder of one slice, the same protection the slow path gives, and no
-// more: slow-path activity under contention earns no credit, exactly as
-// MaybeSwitch refuses a restart while the other class wants the lock.
-// l.mu held.
-func (l *RWLock) creditFastActivity() {
+// remainder of one slice, the same protection the slow path gives.
+//
+// Fast writer operations stamp lastFast exactly (they read the clock
+// anyway). Real-mode fast reader operations are clock-free, so their
+// activity is detected by the shards' op-counter total moving and
+// credited as of now — the moment of discovery. The rounding grants the
+// incumbent at most the slice containing the discovery, the same
+// one-slice bound the exact stamp gives. l.mu held.
+func (l *RWLock) creditFastActivity(now time.Duration) {
 	sl := l.ctrl.SliceLen(l.ctrl.Phase())
 	if sl <= 0 {
 		return
+	}
+	if ops := l.fastReaderOps(); ops != l.fastOpsSeen {
+		l.fastOpsSeen = ops
+		if !check.Enabled() {
+			l.lastFast.Store(int64(now))
+		}
 	}
 	end := l.ctrl.PhaseEnd()
 	last := time.Duration(l.lastFast.Load())
@@ -585,15 +780,16 @@ func (l *RWLock) creditFastActivity() {
 // l.mu held.
 func (l *RWLock) advanceLocked(now time.Duration) {
 	check.Point("rw.advance")
-	l.creditFastActivity()
+	l.creditFastActivity(now)
 	w := l.word.Load()
+	readers := l.readerSum()
 	var curWants, otherWants bool
 	if l.ctrl.Phase() == core.PhaseRead {
-		curWants = w&rwCount != 0 || len(l.waitR) > 0
+		curWants = readers > 0 || len(l.waitR) > 0
 		otherWants = len(l.waitW) > 0 || w&rwWActive != 0
 	} else {
 		curWants = w&rwWActive != 0 || len(l.waitW) > 0
-		otherWants = len(l.waitR) > 0 || w&rwCount != 0
+		otherWants = len(l.waitR) > 0 || readers > 0
 	}
 	before := l.ctrl.Phase()
 	if l.ctrl.MaybeSwitch(now, curWants, otherWants) != before {
@@ -607,11 +803,17 @@ func (l *RWLock) advanceLocked(now time.Duration) {
 		}
 		l.phaseStart = now
 		l.mutateWord(func(x uint64) uint64 {
+			x = x&^rwEpoch | (x+1)&rwEpoch // flip advances the epoch
 			if l.ctrl.Phase() == core.PhaseWrite {
 				return x | rwPhaseWrite
 			}
 			return x &^ rwPhaseWrite
 		})
+		if debugChecks {
+			if err := l.checkFlipLocked(); err != nil {
+				debugFail(err.Error())
+			}
+		}
 	}
 	l.grantLocked(now)
 	l.armPhaseTimer()
@@ -667,13 +869,14 @@ func (l *RWLock) grantLocked(now time.Duration) {
 			return
 		}
 		l.classEntered(now)
-		l.charge(w, now)
-		if w&rwCount == 0 {
+		sum := l.readerSum()
+		l.charge(sum, false, now)
+		if sum == 0 {
 			l.rStart = now
 		}
 		t := l.loadTracer()
 		for _, wt := range l.waitR {
-			l.mutateWord(func(x uint64) uint64 { return x + 1 })
+			l.shards[wt.shard].count.Add(1)
 			l.readerOps.Add(1)
 			if t != nil {
 				t.OnHandoff(l.event(trace.KindHandoff, now, trace.EntityReaders, 0))
@@ -684,11 +887,20 @@ func (l *RWLock) grantLocked(now time.Duration) {
 		l.waitR = l.waitR[:0]
 		return
 	}
-	if w&rwCount != 0 || w&rwWActive != 0 || len(l.waitW) == 0 {
+	if w&rwWActive != 0 || len(l.waitW) == 0 {
+		return
+	}
+	// The write-phase drain: sweep the read indicator under the phase
+	// bit. A nonzero sum means readers are still draining (or a
+	// transient fast +1 is mid-undo) — skip the grant; the drain's own
+	// slow-path release, the undoing reader's advance, or the phase
+	// timer re-sweeps.
+	check.Point("rw.phaseflip.sweep")
+	if l.readerSum() != 0 {
 		return
 	}
 	l.classEntered(now)
-	l.charge(w, now)
+	l.charge(0, false, now)
 	wt := l.waitW[0]
 	l.waitW = l.waitW[1:]
 	l.mutateWord(func(x uint64) uint64 { return x | rwWActive })
@@ -770,17 +982,33 @@ type RWStats struct {
 }
 
 // CheckInvariants verifies the lock's internal consistency: readers and
-// a writer never hold simultaneously, the state word's waiters bit
-// agrees with the wait queues, and the word's phase bit mirrors the
-// controller's phase. It is meant for tests — the deterministic checker
-// calls it between operations of every explored schedule — and reports
-// the first violation found, or nil.
+// a writer never hold simultaneously, the read-indicator sum is never
+// negative, the state word's waiters bit agrees with the wait queues,
+// and the word's phase bit mirrors the controller's phase. It is meant
+// for quiescent or serialized callers — the deterministic checker calls
+// it between operations of every explored schedule, and the scenario
+// wall substrate after its goroutines join — and reports the first
+// violation found, or nil.
 func (l *RWLock) CheckInvariants() error {
 	l.lockMu()
 	defer l.unlockMu()
+	sum := l.readerSum()
+	if w := l.word.Load(); w&rwWActive != 0 && sum > 0 {
+		return fmt.Errorf("scl: writer active with %d readers holding", sum)
+	}
+	return l.checkFlipLocked()
+}
+
+// checkFlipLocked is the invariant subset safe to assert mid-flight in
+// real concurrent runs (the scldebug build runs it at every phase flip):
+// a writer-with-readers check would trip on a fast reader's transient
+// +1 awaiting undo, but the sum going negative, the waiters bit
+// disagreeing with the queues, or the phase bit disagreeing with the
+// controller always means corrupted bookkeeping. l.mu held.
+func (l *RWLock) checkFlipLocked() error {
 	w := l.word.Load()
-	if w&rwWActive != 0 && w&rwCount != 0 {
-		return fmt.Errorf("scl: writer active with %d readers holding", w&rwCount)
+	if sum := l.readerSum(); sum < 0 {
+		return fmt.Errorf("scl: read indicator sum %d < 0 (lost reader or double release)", sum)
 	}
 	queued := len(l.waitR) > 0 || len(l.waitW) > 0
 	hasBit := w&rwWaiters != 0
@@ -801,14 +1029,15 @@ func (l *RWLock) Stats() RWStats {
 	l.lockMu()
 	defer l.unlockMu()
 	now := monotime()
-	l.charge(l.word.Load(), now)
+	w := l.word.Load()
+	l.charge(l.readerSum(), w&rwWActive != 0, now)
 	// Like Mutex.Stats, snapshots give the lazy idle-memory release a
 	// chance to run even when the lock has gone quiet.
 	l.maybeReleaseQueues(now)
 	return RWStats{
 		ReaderHold:    time.Duration(l.readerHold.Load()),
 		WriterHold:    time.Duration(l.writerHold.Load()),
-		ReaderOps:     l.readerOps.Load(),
+		ReaderOps:     l.readerOps.Load() + l.fastReaderOps(),
 		WriterOps:     l.writerOps.Load(),
 		ReaderCancels: l.readerCancels.Load(),
 		WriterCancels: l.writerCancels.Load(),

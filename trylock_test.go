@@ -74,16 +74,8 @@ func TestTryLockExpiredSlice(t *testing.T) {
 }
 
 func TestTryLockBanned(t *testing.T) {
-	m := NewMutex(Options{Slice: 10 * time.Millisecond, BanCap: time.Hour})
-	a := m.Register()
-	b := m.Register()
 	// a hogs through its whole slice against a registered peer: banned.
-	a.Lock()
-	time.Sleep(15 * time.Millisecond)
-	a.Unlock()
-	if s := m.Stats(); s.Bans[a.ID()] != 1 {
-		t.Skipf("setup did not draw a ban (bans=%d)", s.Bans[a.ID()])
-	}
+	_, a, b := banHog(t, Options{Slice: 10 * time.Millisecond, BanCap: time.Hour}, 15*time.Millisecond)
 	if a.TryLock() {
 		t.Fatal("TryLock succeeded while banned")
 	}
