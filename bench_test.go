@@ -242,6 +242,18 @@ func BenchmarkChurn(b *testing.B) {
 	b.ReportMetric(float64(reaped), "reaped-entities")
 }
 
+func BenchmarkSoak(b *testing.B) {
+	var lightJain float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Soak(benchOptions(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lightJain = res.LightJain
+	}
+	b.ReportMetric(lightJain, "light-jain")
+}
+
 func BenchmarkULE(b *testing.B) {
 	var usclP99 float64
 	for i := 0; i < b.N; i++ {
@@ -306,7 +318,7 @@ func TestEveryExperimentHasABenchmark(t *testing.T) {
 		"fig8b": true, "fig9": true, "fig10": true, "fig11": true,
 		"fig12a": true, "fig12b": true, "fig13": true, "fig14": true,
 		"ablation": true, "groups": true, "ule": true, "pi": true,
-		"multilock": true, "churn": true,
+		"multilock": true, "churn": true, "soak": true,
 	}
 	for _, name := range experiments.Names() {
 		if !covered[name] {
@@ -532,5 +544,47 @@ func benchRWReadScale(b *testing.B, readers int) {
 func BenchmarkRWReadScale(b *testing.B) {
 	for _, n := range []int{2, 8, 32, 128} {
 		b.Run(strconv.Itoa(n), func(b *testing.B) { benchRWReadScale(b, n) })
+	}
+}
+
+// BenchmarkManagerHotKey measures the lock-table overhead on the
+// single-key fast path: one tenant re-acquiring one hot key, so every
+// iteration pays stripe lookup (FNV-1a + stripe mutex), handle-pool
+// checkout, the key lock's own fast path, and the ChargeWindow booking
+// at release. The gap to BenchmarkMutexFastPath is the price of the
+// table.
+func BenchmarkManagerHotKey(b *testing.B) {
+	m := scl.NewManager(scl.ManagerOptions{Lock: scl.Options{Slice: time.Hour}})
+	tn := m.Tenant("bench", 1)
+	defer tn.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := tn.Lock("hot")
+		g.Unlock()
+	}
+}
+
+// BenchmarkManagerKeyChurn measures lazy materialization and lock reap
+// under key churn: every iteration acquires a fresh key (k-SCL per-key
+// locks, aggressive lock GC), so the table continually materializes,
+// grants, and reaps. The final Keys() check asserts the reaper kept
+// the table bounded at benchmark rates — the millions-of-keys story in
+// miniature.
+func BenchmarkManagerKeyChurn(b *testing.B) {
+	m := scl.NewManager(scl.ManagerOptions{
+		Lock: scl.Options{Slice: -1},
+	}, scl.WithLockGC(time.Millisecond), scl.WithTenantGC(10*time.Millisecond))
+	tn := m.Tenant("bench", 1)
+	defer tn.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := tn.Lock("key-" + strconv.Itoa(i))
+		g.Unlock()
+	}
+	b.StopTimer()
+	if n := m.Keys(); n > 65536 {
+		b.Fatalf("%d keys still materialized after churn, lock GC not keeping up", n)
 	}
 }

@@ -41,6 +41,17 @@ import (
 // Shard selection itself is schedule-stable under the checker: it keys
 // off check.GID (the managed goroutine's spawn index), not runtime
 // identity, so a replayed seed takes identical branches.
+//
+// The Manager threads its table-level decisions through the same seam:
+// its stripe mutexes go through lockMutex/unlockMutex, and it marks
+// "mgr.stripe" (stripe selected, before the table-level ban check),
+// "mgr.materialize" (a key's lock is about to be created),
+// "mgr.release" (between the key-lock release and the stripe booking —
+// the window where a concurrent acquire can observe the key unlocked
+// but the tenant not yet charged), "mgr.reap" (a stripe GC sweep) and
+// "mgr.close" (tenant departure). Stripe selection hashes the key with
+// a fixed FNV-1a, so it is schedule- and process-stable by
+// construction.
 
 // lockTimer abstracts the one-shot slice/phase timers so the checker
 // can substitute virtual-clock timers for time.AfterFunc. Both

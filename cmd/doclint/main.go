@@ -2,8 +2,10 @@
 // docs-check): it fails if any exported identifier in the public packages
 // (scl, scl/lockstat, scl/trace, scl/export) lacks a doc comment, or if a
 // relative link in the top-level markdown files points at a path that
-// does not exist. It uses only go/ast and go/parser, so the gate needs no
-// third-party linters.
+// does not exist, or if a `#fragment` in such a link (same-file or
+// `file.md#fragment`) names a heading anchor that no heading in the
+// target file generates under GitHub's slug rules. It uses only go/ast
+// and go/parser, so the gate needs no third-party linters.
 //
 //	doclint [-root dir]
 package main
@@ -147,31 +149,116 @@ func exportedReceiver(recv *ast.FieldList) bool {
 // mdLink matches markdown links and images; the first group is the target.
 var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
-// lintLinks reports relative links in root/name that do not resolve to an
-// existing file or directory. Absolute URLs and pure anchors are skipped
-// (anchor validity within a file is out of scope).
+// lintLinks reports relative links in root/name that do not resolve to
+// an existing file or directory, and `#fragment` links (same-file or
+// into another markdown file) whose fragment matches no heading anchor
+// in the target. Absolute URLs are skipped.
 func lintLinks(root, name string) ([]string, error) {
 	data, err := os.ReadFile(filepath.Join(root, name))
 	if err != nil {
 		return nil, err
 	}
+	anchorCache := map[string]map[string]bool{}
+	anchorsOf := func(md string) (map[string]bool, error) {
+		if a, ok := anchorCache[md]; ok {
+			return a, nil
+		}
+		body, err := os.ReadFile(filepath.Join(root, md))
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(body))
+		anchorCache[md] = a
+		return a, nil
+	}
 	var out []string
 	for i, line := range strings.Split(string(data), "\n") {
 		for _, match := range mdLink.FindAllStringSubmatch(line, -1) {
 			target := match[1]
-			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
 				continue
 			}
+			fragment := ""
 			if idx := strings.IndexByte(target, '#'); idx >= 0 {
-				target = target[:idx]
+				target, fragment = target[:idx], target[idx+1:]
 			}
-			if target == "" {
+			if target != "" {
+				if _, err := os.Stat(filepath.Join(root, target)); err != nil {
+					out = append(out, fmt.Sprintf("%s:%d: dead relative link %q", name, i+1, match[1]))
+					continue
+				}
+			}
+			if fragment == "" {
 				continue
 			}
-			if _, err := os.Stat(filepath.Join(root, target)); err != nil {
-				out = append(out, fmt.Sprintf("%s:%d: dead relative link %q", name, i+1, match[1]))
+			// Anchors are only checkable against markdown targets
+			// (same file when the path part is empty).
+			md := target
+			if md == "" {
+				md = name
+			}
+			if !strings.HasSuffix(md, ".md") {
+				continue
+			}
+			anchors, err := anchorsOf(md)
+			if err != nil {
+				return nil, err
+			}
+			if !anchors[fragment] {
+				out = append(out, fmt.Sprintf("%s:%d: dead anchor %q (no heading in %s slugs to #%s)", name, i+1, match[1], md, fragment))
 			}
 		}
 	}
 	return out, nil
+}
+
+// atxHeading matches an ATX heading line outside code fences.
+var atxHeading = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// slugDrop removes every rune GitHub's anchor slugger drops: anything
+// that is not a letter, digit, space, hyphen, or underscore.
+var slugDrop = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// headingAnchors collects the GitHub-style anchors a markdown file's
+// headings generate: lowercase, punctuation dropped, spaces to
+// hyphens, and `-N` suffixes for repeated headings. Fenced code blocks
+// are skipped so commented-out `# shell` lines don't mint anchors.
+func headingAnchors(body string) map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := atxHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if !anchors[slug] {
+			anchors[slug] = true
+			continue
+		}
+		for n := 1; ; n++ {
+			c := fmt.Sprintf("%s-%d", slug, n)
+			if !anchors[c] {
+				anchors[c] = true
+				break
+			}
+		}
+	}
+	return anchors
+}
+
+// slugify lowers a heading's text to its GitHub anchor. Inline code
+// backticks and emphasis markers contribute their text only.
+func slugify(s string) string {
+	s = strings.NewReplacer("`", "", "*", "").Replace(s)
+	s = strings.ToLower(s)
+	s = slugDrop.ReplaceAllString(s, "")
+	return strings.ReplaceAll(s, " ", "-")
 }

@@ -32,7 +32,7 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "explore", "explore, replay, dfs, or oracle")
-		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, rw-churn, or rw-shard")
+		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, rw-churn, rw-shard, or manager-churn")
 		schedules = flag.Int("schedules", 20000, "exploration budget (explore mode)")
 		seed      = flag.Int64("seed", 1, "base seed (explore) or schedule seed (replay)")
 		strategy  = flag.String("strategy", "pct", "schedule chooser for explore mode: pct or random")
@@ -104,6 +104,8 @@ func pick(name string) check.Workload {
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
 	case "rw-shard":
 		return workloads.RWShardSweep(workloads.RWShardOpts{Seed: 1})
+	case "manager-churn":
+		return workloads.ManagerChurn(workloads.ManagerOpts{Seed: 1, Cancel: true, CloseMid: true, GC: true})
 	}
 	fmt.Fprintf(os.Stderr, "unknown -workload %q\n", name)
 	os.Exit(2)

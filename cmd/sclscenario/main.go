@@ -79,7 +79,7 @@ func list(dir string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-14s %-6s %8s %9s %7s  %s\n", "scenario", "lock", "entities", "acquires", "seed", "allow")
+	fmt.Printf("%-14s %-6s %4s %8s %9s %7s  %s\n", "scenario", "lock", "keys", "entities", "acquires", "seed", "allow")
 	for _, s := range corpus {
 		c, err := scenario.Compile(s)
 		if err != nil {
@@ -89,7 +89,7 @@ func list(dir string) {
 		if allow == "" {
 			allow = "-"
 		}
-		fmt.Printf("%-14s %-6s %8d %9d %7d  %s\n", s.Name, s.Lock, s.Entities(), c.TotalAcquires(), s.Seed, allow)
+		fmt.Printf("%-14s %-6s %4d %8d %9d %7d  %s\n", s.Name, s.Lock, s.KeyCount(), s.Entities(), c.TotalAcquires(), s.Seed, allow)
 	}
 }
 

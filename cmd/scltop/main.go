@@ -99,7 +99,7 @@ func live(url, key string, interval time.Duration, frames int, clear bool) error
 		if err != nil {
 			return err
 		}
-		if len(snap.Locks)+len(snap.RWLocks)+len(snap.Rings) == 0 {
+		if len(snap.Locks)+len(snap.RWLocks)+len(snap.Managers)+len(snap.Rings) == 0 {
 			return fmt.Errorf("%s: snapshot has no locks — is this an expvar endpoint? (use -key, e.g. -key scl)", url)
 		}
 		now := time.Now()
@@ -156,6 +156,9 @@ func render(snap, prev *export.Snapshot, window time.Duration) string {
 	}
 	for _, l := range snap.RWLocks {
 		out += renderRW(l)
+	}
+	for _, m := range snap.Managers {
+		out += renderManager(m, prevManager(prev, m.Name), window)
 	}
 	for _, g := range snap.Rings {
 		out += fmt.Sprintf("ring %s: %d events, %d dropped (cap %d)\n",
@@ -223,6 +226,60 @@ func prevEntity(prev *export.LockSnapshot, id int64) *export.EntitySnapshot {
 	for i := range prev.Entities {
 		if prev.Entities[i].ID == id {
 			return &prev.Entities[i]
+		}
+	}
+	return nil
+}
+
+// renderManager draws a lock table's by-tenant aggregation: each row is
+// one tenant's activity summed across every key of the table, so a
+// tenant spraying load over many keys is as visible as one hammering a
+// single hot lock.
+func renderManager(m export.ManagerSnapshot, prev *export.ManagerSnapshot, window time.Duration) string {
+	t := metrics.NewTable(fmt.Sprintf("manager %s (%d keys)", m.Name, m.Keys),
+		"tenant", "weight", "grants", "grant/s", "hold", "hold%", "bans", "ban time", "inflight")
+	for _, ten := range m.Tenants {
+		var rate float64
+		holdPct := 100 * ten.HoldShare
+		if p := prevTenant(prev, ten.ID); p != nil && window > 0 {
+			rate = float64(ten.Grants-p.Grants) / window.Seconds()
+			holdPct = 100 * float64(ten.Hold-p.Hold) / float64(window)
+		}
+		t.AddRow(ten.Label, ten.Weight, ten.Grants, rate,
+			ten.Hold.Round(time.Millisecond).String(), holdPct,
+			ten.Bans, ten.BanTime.Round(time.Millisecond).String(), ten.Inflight)
+	}
+	footer := fmt.Sprintf(
+		"stripes %d  identities %d  Jain(hold) %.3f  materialized %d",
+		m.Stripes, m.Identities, m.JainHold, m.Materialized)
+	if m.LocksReaped > 0 {
+		footer += fmt.Sprintf("  locks reaped %d", m.LocksReaped)
+	}
+	if m.TenantsReaped > 0 {
+		footer += fmt.Sprintf("  tenants reaped %d", m.TenantsReaped)
+	}
+	return t.String() + footer + "\n\n"
+}
+
+func prevManager(prev *export.Snapshot, name string) *export.ManagerSnapshot {
+	if prev == nil {
+		return nil
+	}
+	for i := range prev.Managers {
+		if prev.Managers[i].Name == name {
+			return &prev.Managers[i]
+		}
+	}
+	return nil
+}
+
+func prevTenant(prev *export.ManagerSnapshot, id int64) *export.TenantSnapshot {
+	if prev == nil {
+		return nil
+	}
+	for i := range prev.Tenants {
+		if prev.Tenants[i].ID == id {
+			return &prev.Tenants[i]
 		}
 	}
 	return nil

@@ -196,4 +196,36 @@
 // live count is StatsSnapshot.Registered, Mutex.Entities and
 // scl_entities_registered. See examples/churn for the
 // goroutine-per-request pattern.
+//
+// # Lock tables
+//
+// Manager scales the same discipline to a keyed namespace — a lock per
+// key, lazily materialized in a striped table, with Tenant as the
+// accounted identity instead of Handle. A tenant holds one accounting
+// identity per stripe shared across every key it touches, so usage it
+// sprays over many keys is booked together: per-key fairness comes from
+// each key's own SCL, table-level fairness from per-stripe tenant books
+// charged at Grant.Unlock, whose bans stack across concurrent holds and
+// are slept out at the tenant's next acquire on that stripe.
+//
+// Key and tenant lifetimes follow the GC story above, at both levels:
+//
+//   - A key's lock lives from first use until reaped. ManagerOptions
+//     .LockIdle (WithLockGC) dismantles key locks idle past the
+//     threshold; the next use re-materializes the key with fresh
+//     per-key accounting but unchanged stripe books — reaping a lock
+//     never launders a tenant's table-level usage. Keys() and
+//     ManagerStats track the live set, so the table's memory follows
+//     the working set rather than the key universe.
+//   - A tenant lives from Manager.Tenant to Tenant.Close. Close settles
+//     the tenant's books on every stripe once in-flight grants unlock;
+//     acquiring through a closed tenant panics, like a closed Handle.
+//     For tenants that come and go without Close discipline,
+//     TenantIdle (WithTenantGC) reaps idle identities — never ones
+//     with grants in flight or unserved bans — and a returning tenant
+//     re-registers through the join-credit floor.
+//
+// See examples/lockserver for the end-to-end pattern (an HTTP KV store
+// keyed by request path, tenants from a header) and DESIGN.md §8 for
+// the stripe layout and the paper mapping.
 package scl

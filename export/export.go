@@ -25,10 +25,11 @@ import (
 // Registry holds named metric sources. The zero value is unusable;
 // create with NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
-	mu      sync.Mutex
-	mutexes []namedSource[func() scl.StatsSnapshot]
-	rwlocks []namedSource[func() scl.RWStats]
-	rings   []namedSource[*trace.Ring]
+	mu       sync.Mutex
+	mutexes  []namedSource[func() scl.StatsSnapshot]
+	rwlocks  []namedSource[func() scl.RWStats]
+	managers []namedSource[func() scl.ManagerStats]
+	rings    []namedSource[*trace.Ring]
 }
 
 type namedSource[T any] struct {
@@ -66,6 +67,16 @@ func (r *Registry) RegisterRWLock(name string, l *scl.RWLock) {
 		name: pick(name, l.Name(), len(r.rwlocks)), src: l.Stats})
 }
 
+// RegisterManager adds a lock Manager (a keyed lock table) under the
+// given name; its table-level by-tenant aggregates are exported
+// alongside the single-lock metrics.
+func (r *Registry) RegisterManager(name string, m *scl.Manager) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.managers = append(r.managers, namedSource[func() scl.ManagerStats]{
+		name: pick(name, m.Name(), len(r.managers)), src: m.Stats})
+}
+
 // RegisterRing adds a trace ring so its volume and drop counters are
 // exported alongside the lock metrics.
 func (r *Registry) RegisterRing(name string, ring *trace.Ring) {
@@ -78,9 +89,10 @@ func (r *Registry) RegisterRing(name string, ring *trace.Ring) {
 // Snapshot is a point-in-time JSON-serializable view of every registered
 // source: the wire format of VarsHandler and the input of cmd/scltop.
 type Snapshot struct {
-	Locks   []LockSnapshot   `json:"locks,omitempty"`
-	RWLocks []RWLockSnapshot `json:"rwlocks,omitempty"`
-	Rings   []RingSnapshot   `json:"rings,omitempty"`
+	Locks    []LockSnapshot    `json:"locks,omitempty"`
+	RWLocks  []RWLockSnapshot  `json:"rwlocks,omitempty"`
+	Managers []ManagerSnapshot `json:"managers,omitempty"`
+	Rings    []RingSnapshot    `json:"rings,omitempty"`
 }
 
 // LockSnapshot is one Mutex's accounting.
@@ -140,6 +152,49 @@ type RWLockSnapshot struct {
 	WriterCancels int64 `json:"writerCancels"`
 }
 
+// ManagerSnapshot is one lock Manager's table-level accounting: the
+// table shape (stripes, live keys, GC counters) plus per-tenant
+// aggregates across every key of the table.
+type ManagerSnapshot struct {
+	Name    string `json:"name"`
+	Stripes int    `json:"stripes"`
+	// Keys is the live materialized-lock count; Materialized and
+	// LocksReaped count materializations and lock reaps since creation.
+	Keys         int   `json:"keys"`
+	Materialized int64 `json:"materialized"`
+	LocksReaped  int64 `json:"locksReaped,omitempty"`
+	// Identities is the registered tenant-identity count summed over
+	// stripes; TenantsReaped counts identities expired by the tenant GC.
+	Identities    int   `json:"identities"`
+	TenantsReaped int64 `json:"tenantsReaped,omitempty"`
+	// Grants is the total number of completed grants.
+	Grants int64 `json:"grants"`
+	// JainHold is Jain's fairness index over the tenants' hold times.
+	JainHold float64 `json:"jainHold"`
+	// Tenants, sorted by descending hold time.
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's table-wide accounting within a
+// Manager.
+type TenantSnapshot struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Label is Name, or a stable synthetic label when unnamed.
+	Label  string `json:"label"`
+	Weight int64  `json:"weight"`
+	// Grants counts completed grants; Hold sums their hold windows.
+	Grants int64         `json:"grants"`
+	Hold   time.Duration `json:"hold"`
+	// HoldShare is the tenant's fraction of all tenants' hold time.
+	HoldShare float64 `json:"holdShare"`
+	// Bans counts table-level penalties drawn; BanTime is their sum.
+	Bans    int64         `json:"bans"`
+	BanTime time.Duration `json:"banTime"`
+	// Inflight is the tenant's grants currently in flight.
+	Inflight int `json:"inflight,omitempty"`
+}
+
 // RingSnapshot is one trace ring's volume accounting.
 type RingSnapshot struct {
 	Name    string `json:"name"`
@@ -153,6 +208,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	mutexes := append([]namedSource[func() scl.StatsSnapshot](nil), r.mutexes...)
 	rwlocks := append([]namedSource[func() scl.RWStats](nil), r.rwlocks...)
+	managers := append([]namedSource[func() scl.ManagerStats](nil), r.managers...)
 	rings := append([]namedSource[*trace.Ring](nil), r.rings...)
 	r.mu.Unlock()
 
@@ -174,6 +230,9 @@ func (r *Registry) Snapshot() Snapshot {
 			WriterCancels: s.WriterCancels,
 		})
 	}
+	for _, m := range managers {
+		snap.Managers = append(snap.Managers, managerSnapshot(m.name, m.src()))
+	}
 	for _, g := range rings {
 		snap.Rings = append(snap.Rings, RingSnapshot{
 			Name:    g.name,
@@ -183,6 +242,39 @@ func (r *Registry) Snapshot() Snapshot {
 		})
 	}
 	return snap
+}
+
+func managerSnapshot(name string, s scl.ManagerStats) ManagerSnapshot {
+	ms := ManagerSnapshot{
+		Name:          name,
+		Stripes:       s.Stripes,
+		Keys:          s.Keys,
+		Materialized:  s.Materialized,
+		LocksReaped:   s.LocksReaped,
+		Identities:    s.Identities,
+		TenantsReaped: s.TenantsReaped,
+		Grants:        s.Grants,
+		JainHold:      s.JainHold(),
+	}
+	for _, t := range s.Tenants {
+		label := t.Name
+		if label == "" {
+			label = fmt.Sprintf("tenant-%d", t.ID)
+		}
+		ms.Tenants = append(ms.Tenants, TenantSnapshot{
+			ID:        t.ID,
+			Name:      t.Name,
+			Label:     label,
+			Weight:    t.Weight,
+			Grants:    t.Grants,
+			Hold:      t.Hold,
+			HoldShare: t.HoldShare,
+			Bans:      t.Bans,
+			BanTime:   t.BanTime,
+			Inflight:  t.Inflight,
+		})
+	}
+	return ms
 }
 
 func lockSnapshot(name string, s scl.StatsSnapshot) LockSnapshot {

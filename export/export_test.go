@@ -237,3 +237,83 @@ func TestUnnamedFallbacks(t *testing.T) {
 		t.Fatalf("ring fallback name %q", snap.Rings[0].Name)
 	}
 }
+
+// TestRegisterManagerExport drives a small lock table and checks the
+// by-tenant aggregates come through both the JSON snapshot and the
+// Prometheus exposition.
+func TestRegisterManagerExport(t *testing.T) {
+	m := scl.NewManager(scl.ManagerOptions{Name: "table", Lock: scl.Options{Slice: time.Millisecond}})
+	a := m.Tenant("acme", scl.NiceToWeight(0))
+	b := m.Tenant("", scl.NiceToWeight(0)) // unnamed: synthetic label
+	for i := 0; i < 4; i++ {
+		g := a.Lock("hot")
+		busyFor(50 * time.Microsecond)
+		g.Unlock()
+	}
+	g := b.Lock("cold")
+	g.Unlock()
+
+	r := NewRegistry()
+	r.RegisterManager("", m)
+	snap := r.Snapshot()
+	if len(snap.Managers) != 1 {
+		t.Fatalf("%d manager snapshots, want 1", len(snap.Managers))
+	}
+	ms := snap.Managers[0]
+	if ms.Name != "table" {
+		t.Fatalf("manager name %q, want the lock's own label", ms.Name)
+	}
+	if ms.Keys != 2 || ms.Grants != 5 {
+		t.Fatalf("Keys=%d Grants=%d, want 2/5", ms.Keys, ms.Grants)
+	}
+	if len(ms.Tenants) != 2 {
+		t.Fatalf("%d tenant rows, want 2", len(ms.Tenants))
+	}
+	if ms.Tenants[0].Label != "acme" { // sorted by hold: acme did the busy work
+		t.Fatalf("top tenant %q, want acme", ms.Tenants[0].Label)
+	}
+	if ms.Tenants[1].Label == "" || !strings.HasPrefix(ms.Tenants[1].Label, "tenant-") {
+		t.Fatalf("unnamed tenant label %q, want tenant-<id>", ms.Tenants[1].Label)
+	}
+	var share float64
+	for _, ten := range ms.Tenants {
+		share += ten.HoldShare
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("hold shares sum to %v, want ~1", share)
+	}
+
+	// JSON round trip.
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Managers) != 1 || back.Managers[0].Grants != 5 {
+		t.Fatalf("manager snapshot lost in JSON round trip: %+v", back.Managers)
+	}
+
+	// Prometheus exposition.
+	srv := httptest.NewServer(r.MetricsHandler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`scl_manager_keys{manager="table"} 2`,
+		`scl_manager_jain_hold{manager="table"}`,
+		`scl_tenant_grants_total{manager="table",tenant="acme",tenant_id="`,
+		`scl_tenant_hold_share{manager="table",tenant="acme"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}

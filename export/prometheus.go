@@ -111,6 +111,54 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if len(snap.Managers) > 0 {
+		ew.family("scl_manager_keys", "gauge", "Key locks currently materialized in the lock table.")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_keys", labels{"manager": m.Name}, float64(m.Keys))
+		}
+		ew.family("scl_manager_keys_materialized_total", "counter", "Key locks materialized since the table was created.")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_keys_materialized_total", labels{"manager": m.Name}, float64(m.Materialized))
+		}
+		ew.family("scl_manager_keys_reaped_total", "counter", "Idle key locks dismantled by the lock GC (scl.WithLockGC).")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_keys_reaped_total", labels{"manager": m.Name}, float64(m.LocksReaped))
+		}
+		ew.family("scl_manager_tenant_identities", "gauge", "Registered tenant identities summed over stripes.")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_tenant_identities", labels{"manager": m.Name}, float64(m.Identities))
+		}
+		ew.family("scl_manager_tenants_reaped_total", "counter", "Tenant identities expired by the tenant GC (scl.WithTenantGC).")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_tenants_reaped_total", labels{"manager": m.Name}, float64(m.TenantsReaped))
+		}
+		ew.family("scl_manager_jain_hold", "gauge", "Jain fairness index over per-tenant table-wide hold times (1 = fair).")
+		for _, m := range snap.Managers {
+			ew.metric("scl_manager_jain_hold", labels{"manager": m.Name}, m.JainHold)
+		}
+
+		ew.family("scl_tenant_grants_total", "counter", "Completed grants per tenant across every key of the table.")
+		forEachTenant(snap, func(m string, t TenantSnapshot, lb labels) {
+			ew.metric("scl_tenant_grants_total", lb, float64(t.Grants))
+		})
+		ew.family("scl_tenant_hold_seconds_total", "counter", "Cumulative hold time per tenant across the table.")
+		forEachTenant(snap, func(m string, t TenantSnapshot, lb labels) {
+			ew.metric("scl_tenant_hold_seconds_total", lb, seconds(t.Hold))
+		})
+		ew.family("scl_tenant_hold_share", "gauge", "Tenant's fraction of all tenants' hold time.")
+		forEachTenant(snap, func(m string, t TenantSnapshot, lb labels) {
+			ew.metric("scl_tenant_hold_share", lb, t.HoldShare)
+		})
+		ew.family("scl_tenant_bans_total", "counter", "Table-level penalties imposed on the tenant for over-use.")
+		forEachTenant(snap, func(m string, t TenantSnapshot, lb labels) {
+			ew.metric("scl_tenant_bans_total", lb, float64(t.Bans))
+		})
+		ew.family("scl_tenant_ban_seconds_total", "counter", "Total table-level penalty time imposed on the tenant.")
+		forEachTenant(snap, func(m string, t TenantSnapshot, lb labels) {
+			ew.metric("scl_tenant_ban_seconds_total", lb, seconds(t.BanTime))
+		})
+	}
+
 	if len(snap.Rings) > 0 {
 		ew.family("scl_trace_events_total", "counter", "Events recorded into the trace ring.")
 		for _, g := range snap.Rings {
@@ -140,6 +188,18 @@ func forEachEntity(snap Snapshot, fn func(lock string, e EntitySnapshot, lb labe
 				"lock":      l.Name,
 				"entity":    e.Label,
 				"entity_id": fmt.Sprint(e.ID),
+			})
+		}
+	}
+}
+
+func forEachTenant(snap Snapshot, fn func(manager string, t TenantSnapshot, lb labels)) {
+	for _, m := range snap.Managers {
+		for _, t := range m.Tenants {
+			fn(m.Name, t, labels{
+				"manager":   m.Name,
+				"tenant":    t.Label,
+				"tenant_id": fmt.Sprint(t.ID),
 			})
 		}
 	}

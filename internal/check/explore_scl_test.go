@@ -22,7 +22,7 @@ var (
 	seedFlag = flag.Int64("check.seed", 0,
 		"replay this schedule seed against the selected workload instead of exploring")
 	workloadFlag = flag.String("check.workload", "mutex-churn",
-		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, rw-shard, scenario")
+		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, rw-shard, manager-churn, scenario")
 	schedulesFlag = flag.Int("check.schedules", 0,
 		"override the exploration budget (number of schedules)")
 	scenarioFlag = flag.String("check.scenario", "",
@@ -57,6 +57,8 @@ func namedWorkload(t *testing.T, name string) check.Workload {
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
 	case "rw-shard":
 		return workloads.RWShardSweep(workloads.RWShardOpts{Seed: 1})
+	case "manager-churn":
+		return workloads.ManagerChurn(workloads.ManagerOpts{Seed: 1, Cancel: true, CloseMid: true, GC: true})
 	case "scenario":
 		if *scenarioFlag == "" {
 			t.Fatalf("-check.workload=scenario needs -check.scenario=<file>")
@@ -201,6 +203,29 @@ func TestExploreRWShardDFS(t *testing.T) {
 	sum := check.ExploreDFS(check.DFSOpts{Depth: 10, MaxRuns: max}, w)
 	if sum.Failure != nil {
 		t.Fatalf("DFS exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreManagerChurn drives the lock-table Manager through
+// multi-key tenant churn with cancellation, mid-run tenant close and
+// both GCs armed, exploring the table's decision sites (mgr.stripe,
+// mgr.materialize, mgr.release, mgr.reap, mgr.close, acct.charge)
+// interleaved with the per-key locks' own sites. Every schedule asserts
+// per-key mutual exclusion, cross-layer in-flight agreement and clean
+// teardown of every stripe's books.
+func TestExploreManagerChurn(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.ManagerChurn(workloads.ManagerOpts{Seed: 9, Cancel: true, CloseMid: true, GC: true})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 9, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
 	}
 	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
 }

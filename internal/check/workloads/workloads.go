@@ -479,3 +479,147 @@ func RWChurn(o RWOpts) check.Workload {
 		Validate: func() error { return l.CheckInvariants() },
 	}
 }
+
+// ManagerOpts configures the lock-table churn workload.
+type ManagerOpts struct {
+	// Tenants is the number of concurrent tenants (default 3).
+	Tenants int
+	// Keys is the size of the key space tenants pick from (default 4,
+	// spread over 2 stripes so stripe handoffs are explored).
+	Keys int
+	// Ops is the number of scripted operations per tenant (default 4).
+	Ops int
+	// Slice is the per-key lock slice (default 2ms).
+	Slice time.Duration
+	// Seed derives each tenant's deterministic op script.
+	Seed int64
+	// Cancel mixes in cancellable acquires abandoned mid-flight.
+	Cancel bool
+	// CloseMid mixes in mid-run tenant Close/re-register churn.
+	CloseMid bool
+	// GC enables both manager GCs with tight thresholds, pulling lock
+	// reap and tenant expiry into the explored schedules.
+	GC bool
+}
+
+func (o *ManagerOpts) defaults() {
+	if o.Tenants <= 0 {
+		o.Tenants = 3
+	}
+	if o.Keys <= 0 {
+		o.Keys = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.Slice == 0 {
+		o.Slice = 2 * time.Millisecond
+	}
+}
+
+// ManagerChurn drives a striped lock table through multi-key tenant
+// churn: tenants run deterministic scripts of plain and cancellable
+// acquires over a small key space (two stripes, so the explorer
+// interleaves the stripe decision sites mgr.stripe/mgr.materialize/
+// mgr.release/mgr.reap), optionally closing and re-registering mid-run.
+// On every schedule it asserts per-key mutual exclusion via shared
+// holder counters, full manager invariants after each operation
+// (stripe books conservation, in-flight agreement between the key and
+// tenant views), and clean teardown: once every tenant has closed, no
+// identity survives in any stripe's books.
+func ManagerChurn(o ManagerOpts) check.Workload {
+	o.defaults()
+	var m *scl.Manager
+	return check.Workload{
+		Name: "manager-churn",
+		Setup: func(s *check.Sched) {
+			mo := scl.ManagerOptions{Stripes: 2, Lock: scl.Options{Slice: o.Slice}}
+			if o.GC {
+				mo.LockIdle = 5 * time.Millisecond
+				mo.TenantIdle = 10 * time.Millisecond
+			}
+			m = scl.NewManager(mo)
+			held := make([]int, o.Keys)
+			for e := 0; e < o.Tenants; e++ {
+				e := e
+				script := o.script(e) // reuse the mutex op mix
+				rng := rand.New(rand.NewSource(o.Seed*7901 + int64(e)))
+				keys := make([]int, len(script))
+				for i := range keys {
+					keys[i] = rng.Intn(o.Keys)
+				}
+				tn := m.Tenant(fmt.Sprintf("t%d", e), 1024)
+				s.Go(fmt.Sprintf("t%d", e), func() {
+					runManagerScript(s, m, &tn, script, keys, held)
+				})
+			}
+		},
+		Validate: func() error {
+			if err := m.CheckInvariants(); err != nil {
+				return err
+			}
+			if st := m.Stats(); st.Identities != 0 {
+				return fmt.Errorf("%d tenant identities survive after every tenant closed", st.Identities)
+			}
+			return nil
+		},
+	}
+}
+
+// script reuses the MutexOpts op mix for a ManagerOpts (same kinds,
+// same distribution — opTry maps to a plain acquire, the Manager has no
+// TryLock).
+func (o ManagerOpts) script(e int) []op {
+	mo := MutexOpts{Ops: o.Ops, Seed: o.Seed, Cancel: o.Cancel, CloseMid: o.CloseMid}
+	mo.defaults()
+	return mo.script(e)
+}
+
+// runManagerScript executes one tenant's scripted multi-key ops.
+func runManagerScript(s *check.Sched, m *scl.Manager, tn **scl.Tenant, script []op, keys []int, held []int) {
+	for i, o := range script {
+		key := fmt.Sprintf("k%d", keys[i])
+		ki := keys[i]
+		switch o.kind {
+		case opLock, opTry:
+			g := (*tn).Lock(key)
+			held[ki]++
+			if held[ki] != 1 {
+				s.Failf("mutual exclusion violated on %s: %d holders", key, held[ki])
+			}
+			check.Sleep(o.hold)
+			held[ki]--
+			g.Unlock()
+		case opCancel:
+			ctx, cancel := context.WithCancel(context.Background())
+			s.Go("canceller", func() {
+				check.Sleep(o.wait)
+				cancel()
+			})
+			if g, err := (*tn).LockContext(ctx, key); err == nil {
+				held[ki]++
+				if held[ki] != 1 {
+					s.Failf("mutual exclusion violated on %s: %d holders", key, held[ki])
+				}
+				check.Sleep(o.hold)
+				held[ki]--
+				g.Unlock()
+			}
+			cancel()
+		case opClose:
+			name := (*tn).Name()
+			(*tn).Close()
+			check.Sleep(o.wait)
+			*tn = m.Tenant(name, 1024)
+		case opThink:
+			check.Sleep(o.wait)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			s.Failf("invariants broken after op %d: %v", i, err)
+		}
+	}
+	(*tn).Close()
+	if err := m.CheckInvariants(); err != nil {
+		s.Failf("invariants broken after close: %v", err)
+	}
+}

@@ -314,6 +314,15 @@ func (a *Accountant) FoldSliceUsage(id ID, usage time.Duration, now time.Duratio
 
 // penalty computes the ban for an entity whose slice just expired.
 func (a *Accountant) penalty(e *entity) time.Duration {
+	return a.windowPenalty(e, e.sliceUsage)
+}
+
+// windowPenalty is the paper's §4.2 penalty rule for an ownership window
+// of the given length: an entity whose cumulative usage fraction exceeds
+// its share stays away for window/share − window, so the window averages
+// out to the share. Shared by the slice-boundary path (window = slice
+// usage) and ChargeWindow (window = one externally measured hold).
+func (a *Accountant) windowPenalty(e *entity, window time.Duration) time.Duration {
 	if a.grandUsage <= 0 || a.totalWeight <= 0 {
 		return 0
 	}
@@ -325,7 +334,6 @@ func (a *Accountant) penalty(e *entity) time.Duration {
 	if ratio <= share+a.params.SlackRatio {
 		return 0 // at or under its allotment: no penalty (paper §4.2)
 	}
-	window := e.sliceUsage
 	if window <= 0 {
 		return 0
 	}
@@ -335,6 +343,44 @@ func (a *Accountant) penalty(e *entity) time.Duration {
 	}
 	if pen < 0 {
 		pen = 0
+	}
+	return pen
+}
+
+// ChargeWindow books one externally measured ownership window for id in
+// k-SCL style: the window is accrued into the entity's cumulative usage
+// and the grand total, and — every charge being a slice boundary, as in a
+// zero-length-slice lock — the penalty decision is made immediately with
+// the window itself as the slice usage. The returned penalty has already
+// been imposed on the entity's books (BannedUntil); the caller enforces
+// it on the entity's next acquire attempt, exactly like Release.Penalty.
+//
+// Unlike OnRelease, bans stack: an entity may own several windows
+// concurrently (a tenant holding many locks of a table), so a fresh
+// penalty extends an outstanding ban rather than resetting it — the
+// stayaway owed for each window is served in full.
+//
+// Entities never registered (or already reaped) are ignored: the caller
+// owns registration, and charging a ghost would corrupt the grand total.
+func (a *Accountant) ChargeWindow(id ID, window, now time.Duration) time.Duration {
+	check.Point("acct.charge")
+	e, ok := a.entities[id]
+	if !ok || window <= 0 {
+		return 0
+	}
+	e.usage += window
+	a.grandUsage += window
+	e.lastActive = now
+	pen := a.windowPenalty(e, window)
+	if pen > 0 {
+		base := now
+		if e.bannedUntil > base {
+			base = e.bannedUntil
+		}
+		e.bannedUntil = base + pen
+	}
+	if a.grandUsage > rescaleLimit {
+		a.rescale()
 	}
 	return pen
 }

@@ -556,3 +556,106 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		t.Fatalf("healed accountant: %v", err)
 	}
 }
+
+// TestChargeWindowPenalty: charging one entity's measured windows in
+// k-SCL style must accrue usage, trip the penalty once the entity runs
+// past its share, and leave the fair entity unbanned.
+func TestChargeWindowPenalty(t *testing.T) {
+	a := newTwoThreadAccountant(Params{JoinCredit: time.Nanosecond})
+	// Entity 1 books 10ms; entity 2 books nothing. At 50% share, every
+	// window of the over-user must draw a ban of window/share − window =
+	// window.
+	a.ChargeWindow(1, 10*time.Millisecond, 10*time.Millisecond)
+	pen := a.ChargeWindow(1, 10*time.Millisecond, 20*time.Millisecond)
+	if pen <= 0 {
+		t.Fatalf("over-user's window drew no penalty")
+	}
+	want := 10 * time.Millisecond // window/share − window at share 0.5
+	if pen < want-time.Millisecond || pen > want+time.Millisecond {
+		t.Fatalf("penalty = %v, want ~%v", pen, want)
+	}
+	if !a.Banned(1, 20*time.Millisecond+pen-1) {
+		t.Fatal("entity 1 not banned after penalty")
+	}
+	if a.Banned(2, 20*time.Millisecond) {
+		t.Fatal("idle entity 2 banned")
+	}
+	if a.Usage(1) != 20*time.Millisecond {
+		t.Fatalf("Usage(1) = %v, want 20ms", a.Usage(1))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeWindowStacksBans: concurrent windows (a tenant holding many
+// locks) must extend an outstanding ban, not reset it.
+func TestChargeWindowStacksBans(t *testing.T) {
+	a := newTwoThreadAccountant(Params{JoinCredit: time.Nanosecond})
+	now := 10 * time.Millisecond
+	p1 := a.ChargeWindow(1, 10*time.Millisecond, now)
+	p2 := a.ChargeWindow(1, 10*time.Millisecond, now)
+	if p1 <= 0 || p2 <= 0 {
+		t.Fatalf("expected penalties for both windows, got %v and %v", p1, p2)
+	}
+	if got, want := a.BannedUntil(1), now+p1+p2; got != want {
+		t.Fatalf("BannedUntil = %v, want stacked %v", got, want)
+	}
+}
+
+// TestChargeWindowRespectsShare: once history has accumulated, an
+// entity alternating windows at exactly its share draws no ban. (From a
+// cold start the first windows can be penalized — the ratio is evaluated
+// after accrual, as at a real slice boundary — so seed history first.)
+func TestChargeWindowRespectsShare(t *testing.T) {
+	a := newTwoThreadAccountant(Params{JoinCredit: time.Nanosecond})
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ { // warm-up: build equal history, bans tolerated
+		now += 2 * time.Millisecond
+		a.ChargeWindow(1, time.Millisecond, now)
+		a.ChargeWindow(2, time.Millisecond, now+time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		now += 2 * time.Millisecond
+		if pen := a.ChargeWindow(1, time.Millisecond, now); pen != 0 {
+			t.Fatalf("window %d: entity 1 penalized %v at its share", i, pen)
+		}
+		if pen := a.ChargeWindow(2, time.Millisecond, now+time.Millisecond); pen != 0 {
+			t.Fatalf("window %d: entity 2 penalized %v at its share", i, pen)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeWindowIgnoresGhosts: charging an unregistered entity must
+// not corrupt the grand total.
+func TestChargeWindowIgnoresGhosts(t *testing.T) {
+	a := newTwoThreadAccountant(Params{})
+	if pen := a.ChargeWindow(99, time.Millisecond, 0); pen != 0 {
+		t.Fatalf("ghost charge returned penalty %v", pen)
+	}
+	if a.GrandUsage() != 0 {
+		t.Fatalf("ghost charge moved grandUsage to %v", a.GrandUsage())
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChargeWindowRescales: long-run window charging must trip the
+// rescale guard and keep counters bounded with ratios preserved.
+func TestChargeWindowRescales(t *testing.T) {
+	a := newTwoThreadAccountant(Params{BanCap: time.Second})
+	big := rescaleLimit / 2
+	a.ChargeWindow(1, big, 0)
+	a.ChargeWindow(2, big, 0)
+	a.ChargeWindow(1, big, 0) // pushes past rescaleLimit
+	if a.GrandUsage() > rescaleLimit {
+		t.Fatalf("grandUsage %v not rescaled below %v", a.GrandUsage(), rescaleLimit)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

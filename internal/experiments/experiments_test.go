@@ -32,7 +32,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ablation", "churn", "groups", "multilock", "pi", "ule", "table1", "table2",
+		"ablation", "churn", "groups", "multilock", "pi", "soak", "ule", "table1", "table2",
 		"fig5a", "fig5c", "fig6", "fig7a", "fig7b", "fig8a", "fig8b",
 		"fig9", "fig10", "fig11", "fig12a", "fig12b", "fig13", "fig14",
 	}
@@ -82,6 +82,41 @@ func TestTable2MatchesPaperShape(t *testing.T) {
 	}
 	if scl.LOT0 < 9*time.Second || scl.LOT1 < 9*time.Second {
 		t.Errorf("SCL LOTs = %v, %v, want ~10s each", scl.LOT0, scl.LOT1)
+	}
+}
+
+// TestSoakFairness is the lock-table acceptance test: under the
+// multi-tenant soak, the noisy tenants must not subvert the light
+// class — light hold-share fairness stays near 1 and light acquire
+// p99 stays bounded (noisy greed converts to noisy bans, not light
+// tail latency).
+func TestSoakFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak sleeps real time")
+	}
+	res, err := Soak(Options{Seed: 7, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LightJain < 0.9 {
+		t.Errorf("light-tenant Jain(hold) = %.3f, want >= 0.9:\n%s", res.LightJain, res)
+	}
+	noisyBans := int64(0)
+	for _, row := range res.Rows {
+		switch row.Class {
+		case "noisy":
+			noisyBans += row.Bans
+		case "light":
+			// Generous wall-clock bound: a light request's tail wait
+			// must stay in lock-arbitration territory (slices + a
+			// noisy ban), nowhere near the noisy class's service time.
+			if row.WaitP99 > 50*time.Millisecond {
+				t.Errorf("%s wait p99 = %v, want bounded:\n%s", row.Tenant, row.WaitP99, res)
+			}
+		}
+	}
+	if noisyBans == 0 {
+		t.Errorf("noisy tenants drew no table-level bans:\n%s", res)
 	}
 }
 

@@ -20,14 +20,29 @@ type Compiled struct {
 	// Seed is the seed actually used (the scenario's, unless
 	// overridden at compile time).
 	Seed int64
-	// Mutex is the u-SCL script (mutex scenarios).
+	// Mutex is the u-SCL script (single-key mutex scenarios).
 	Mutex *sim.Script
 	// RW is the RW-SCL script (rw scenarios).
 	RW *sim.RWScript
-	// Names are the entity names, indexed by script entity index.
+	// Keyed are the per-key scripts of a multi-key scenario
+	// (Scenario.Keys > 1), indexed by key; Mutex and RW are nil then.
+	// Keys of a lock table are independent locks, so each key's script
+	// runs on its own lock and the per-entity results merge by global
+	// entity index (entities never span keys).
+	Keyed []*sim.Script
+	// Names are the entity names, indexed by global entity index.
 	Names []string
-	// GroupOf maps a script entity index to its scenario group index.
+	// GroupOf maps a global entity index to its scenario group index.
 	GroupOf []int
+	// KeyOf maps a global entity index to its key (all zero in
+	// single-key scenarios).
+	KeyOf []int
+	// LocalOf maps a global entity index to its index inside its key's
+	// script (the identity map in single-key scenarios).
+	LocalOf []int
+	// GlobalOf maps (key, local index) back to the global entity
+	// index; GlobalOf[0] is the identity in single-key scenarios.
+	GlobalOf [][]int
 	// Acquires is the number of scripted acquire operations per
 	// entity — the expected grant count when nothing times out.
 	Acquires []int
@@ -52,6 +67,14 @@ func CompileSeed(s *Scenario, seed int64) (*Compiled, error) {
 		return nil, err
 	}
 	c := &Compiled{Scenario: s, Seed: seed}
+	multi := s.Keys > 1
+	if multi {
+		c.Keyed = make([]*sim.Script, s.Keys)
+		for k := range c.Keyed {
+			c.Keyed[k] = &sim.Script{Slice: s.Slice, Horizon: s.Horizon}
+		}
+		c.GlobalOf = make([][]int, s.Keys)
+	}
 	for gi := range s.Groups {
 		g := &s.Groups[gi]
 		for i := 0; i < g.Count; i++ {
@@ -59,10 +82,14 @@ func CompileSeed(s *Scenario, seed int64) (*Compiled, error) {
 			ops, acquires := compileEntity(g, i, rng)
 			name := fmt.Sprintf("%s%d", g.Name, i)
 			start := g.Start + time.Duration(i)*g.Stagger
+			global := len(c.Names)
 			c.Names = append(c.Names, name)
 			c.GroupOf = append(c.GroupOf, gi)
+			c.KeyOf = append(c.KeyOf, g.Key)
 			c.Acquires = append(c.Acquires, acquires)
-			if s.Lock == LockRW {
+			ent := sim.ScriptEntity{Name: name, Start: start, Ops: ops}
+			switch {
+			case s.Lock == LockRW:
 				if c.RW == nil {
 					c.RW = &sim.RWScript{
 						Period:      s.Period,
@@ -71,17 +98,28 @@ func CompileSeed(s *Scenario, seed int64) (*Compiled, error) {
 						Horizon:     s.Horizon,
 					}
 				}
+				c.LocalOf = append(c.LocalOf, global)
 				c.RW.Entities = append(c.RW.Entities, sim.RWScriptEntity{
 					Name: name, Writer: g.Writer, Start: start, Ops: ops,
 				})
-			} else {
+			case multi:
+				ks := c.Keyed[g.Key]
+				c.LocalOf = append(c.LocalOf, len(ks.Entities))
+				c.GlobalOf[g.Key] = append(c.GlobalOf[g.Key], global)
+				ks.Entities = append(ks.Entities, ent)
+			default:
 				if c.Mutex == nil {
 					c.Mutex = &sim.Script{Slice: s.Slice, Horizon: s.Horizon}
 				}
-				c.Mutex.Entities = append(c.Mutex.Entities, sim.ScriptEntity{
-					Name: name, Start: start, Ops: ops,
-				})
+				c.LocalOf = append(c.LocalOf, global)
+				c.Mutex.Entities = append(c.Mutex.Entities, ent)
 			}
+		}
+	}
+	if !multi {
+		c.GlobalOf = [][]int{make([]int, len(c.Names))}
+		for i := range c.Names {
+			c.GlobalOf[0][i] = i
 		}
 	}
 	return c, nil

@@ -24,6 +24,9 @@ func Format(s *Scenario) string {
 		if s.Slice != 0 {
 			fmt.Fprintf(&b, "\tslice %s\n", s.Slice)
 		}
+		if s.Keys > 1 {
+			fmt.Fprintf(&b, "\tkeys %d\n", s.Keys)
+		}
 	}
 	if s.Seed != 0 {
 		fmt.Fprintf(&b, "\tseed %d\n", s.Seed)
@@ -40,6 +43,9 @@ func Format(s *Scenario) string {
 				class = "writer"
 			}
 			fmt.Fprintf(&b, "\t\tclass %s\n", class)
+		}
+		if g.Key != 0 {
+			fmt.Fprintf(&b, "\t\tkey %d\n", g.Key)
 		}
 		if g.Start != 0 {
 			fmt.Fprintf(&b, "\t\tstart %s\n", g.Start)

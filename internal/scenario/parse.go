@@ -15,10 +15,12 @@ import (
 //	scenario <name> {
 //		lock mutex | lock rw <readWeight> <writeWeight>
 //		slice <dur>       (mutex)  |  period <dur>  (rw)
+//		keys <n>          (mutex only; > 1 makes a multi-key scenario)
 //		seed <int>
 //		horizon <dur>
 //		group <name> <count> {
 //			class reader|writer            (rw only)
+//			key <i>                        (multi-key only; default 0)
 //			start <dur>
 //			stagger <dur>
 //			arrival closed | poisson <mean> | stepped <step> c1 c2 ...
@@ -134,6 +136,19 @@ func (p *parser) scenarioLine(f []string) error {
 		return p.duration(f, &p.s.Slice)
 	case "period":
 		return p.duration(f, &p.s.Period)
+	case "keys":
+		if len(f) != 2 {
+			return fmt.Errorf("expected `keys <n>`")
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			return fmt.Errorf("keys: %w", err)
+		}
+		if n < 1 {
+			return fmt.Errorf("keys: must be >= 1")
+		}
+		p.s.Keys = n
+		return nil
 	case "seed":
 		if len(f) != 2 {
 			return fmt.Errorf("expected `seed <int>`")
@@ -189,6 +204,19 @@ func (p *parser) groupLine(f []string) error {
 			return fmt.Errorf("expected `class reader` or `class writer`")
 		}
 		p.g.Writer = f[1] == "writer"
+		return nil
+	case "key":
+		if len(f) != 2 {
+			return fmt.Errorf("expected `key <index>`")
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil {
+			return fmt.Errorf("key: %w", err)
+		}
+		if n < 0 {
+			return fmt.Errorf("key: must be >= 0")
+		}
+		p.g.Key = n
 		return nil
 	case "start":
 		return p.duration(f, &p.g.Start)

@@ -226,14 +226,24 @@ func TestCompileQuantized(t *testing.T) {
 				t.Errorf("%s/%s: hold %v off the %v grid", s.Name, name, hold, Quantum)
 			}
 		}
-		if c.Mutex != nil {
+		switch {
+		case c.Mutex != nil:
 			for _, e := range c.Mutex.Entities {
 				ents++
 				for _, op := range e.Ops {
 					verify(e.Name, op.Hold)
 				}
 			}
-		} else {
+		case len(c.Keyed) > 0:
+			for _, ks := range c.Keyed {
+				for _, e := range ks.Entities {
+					ents++
+					for _, op := range e.Ops {
+						verify(e.Name, op.Hold)
+					}
+				}
+			}
+		default:
 			for _, e := range c.RW.Entities {
 				ents++
 				for _, op := range e.Ops {

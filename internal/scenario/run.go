@@ -38,22 +38,77 @@ func Run(c *Compiled, substrate string) (sim.ScriptResult, error) {
 	return sim.ScriptResult{}, fmt.Errorf("unknown substrate %q", substrate)
 }
 
-// RunSim executes the compiled scenario on the simulator.
+// RunSim executes the compiled scenario on the simulator. Multi-key
+// scenarios run each key's script on its own simulated lock (keys of a
+// table are independent locks) and merge the per-entity results.
 func RunSim(c *Compiled) sim.ScriptResult {
 	if c.RW != nil {
 		return sim.RunRWScript(*c.RW)
+	}
+	if len(c.Keyed) > 0 {
+		per := make([]sim.ScriptResult, len(c.Keyed))
+		for k, s := range c.Keyed {
+			per[k] = sim.RunScript(*s)
+		}
+		return mergeKeyed(c, per)
 	}
 	return sim.RunScript(*c.Mutex)
 }
 
 // RunCheck executes the compiled scenario against the real scl lock
 // under the deterministic checker's virtual clock (the oracle's
-// real-side driver).
+// real-side driver). Multi-key scenarios run each key against its own
+// real lock, exactly mirroring the simulator's decomposition.
 func RunCheck(c *Compiled) (sim.ScriptResult, error) {
 	if c.RW != nil {
 		return oracle.RunRealRW(*c.RW)
 	}
+	if len(c.Keyed) > 0 {
+		per, err := runCheckKeyed(c)
+		if err != nil {
+			return sim.ScriptResult{}, err
+		}
+		return mergeKeyed(c, per), nil
+	}
 	return oracle.RunReal(*c.Mutex)
+}
+
+// runCheckKeyed runs every key's script on the check substrate.
+func runCheckKeyed(c *Compiled) ([]sim.ScriptResult, error) {
+	per := make([]sim.ScriptResult, len(c.Keyed))
+	for k, s := range c.Keyed {
+		r, err := oracle.RunReal(*s)
+		if err != nil {
+			return nil, fmt.Errorf("key %d: %w", k, err)
+		}
+		per[k] = r
+	}
+	return per, nil
+}
+
+// mergeKeyed folds per-key results (local entity indices) into one
+// result over global entity indices. Grants concatenate in key order,
+// so filtering the merged order by KeyOf recovers each key's exact
+// grant sequence; per-entity counters and holds remap one-to-one
+// because entities never span keys.
+func mergeKeyed(c *Compiled, per []sim.ScriptResult) sim.ScriptResult {
+	n := len(c.Names)
+	out := sim.ScriptResult{
+		Timeouts: make([]int, n),
+		Bans:     make([]int, n),
+		Hold:     make([]time.Duration, n),
+	}
+	for k, r := range per {
+		for _, local := range r.Grants {
+			out.Grants = append(out.Grants, c.GlobalOf[k][local])
+		}
+		for local, g := range c.GlobalOf[k] {
+			out.Timeouts[g] = r.Timeouts[local]
+			out.Bans[g] = r.Bans[local]
+			out.Hold[g] = r.Hold[local]
+		}
+	}
+	return out
 }
 
 // RunWall executes the compiled scenario with real goroutines on the
@@ -65,6 +120,9 @@ func RunCheck(c *Compiled) (sim.ScriptResult, error) {
 func RunWall(c *Compiled) (sim.ScriptResult, error) {
 	if c.RW != nil {
 		return runWallRW(c)
+	}
+	if len(c.Keyed) > 0 {
+		return runWallManager(c)
 	}
 	return runWallMutex(c)
 }
@@ -159,6 +217,87 @@ func runWallMutex(c *Compiled) (sim.ScriptResult, error) {
 				res.Bans[i]++
 			}
 		}
+	}
+	return res, nil
+}
+
+// runWallManager executes a multi-key scenario against a real
+// scl.Manager on the real clock: one tenant per entity, keys named
+// k<i>. Where the deterministic substrates decompose a multi-key
+// scenario into independent per-key locks, the wall substrate
+// exercises the actual lock-table path — stripe lookup, lazy
+// materialization, tenant-level books — so a manager regression shows
+// up as a lost grant or invariant failure even though timing-level
+// assertions stay sim/check-only.
+func runWallManager(c *Compiled) (sim.ScriptResult, error) {
+	s := c.Scenario
+	res := sim.ScriptResult{
+		Timeouts: make([]int, len(c.Names)),
+		Bans:     make([]int, len(c.Names)),
+		Hold:     make([]time.Duration, len(c.Names)),
+	}
+	m := scl.NewManager(scl.ManagerOptions{
+		Lock: scl.Options{Slice: s.Slice},
+		Name: s.Name,
+	})
+	var mu sync.Mutex // guards res
+	var wg sync.WaitGroup
+	for k := range c.Keyed {
+		key := fmt.Sprintf("k%d", k)
+		for local, ent := range c.Keyed[k].Entities {
+			i, ent := c.GlobalOf[k][local], ent
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tn := m.Tenant(ent.Name, 1)
+				defer func() { tn.Close() }()
+				time.Sleep(ent.Start)
+				for _, op := range ent.Ops {
+					switch op.Kind {
+					case sim.OpThink:
+						time.Sleep(op.Think)
+					case sim.OpAcquire, sim.OpAcquireTimeout:
+						var g *scl.Grant
+						if op.Kind == sim.OpAcquireTimeout {
+							ctx, cancel := context.WithTimeout(context.Background(), op.Timeout)
+							var err error
+							g, err = tn.LockContext(ctx, key)
+							cancel()
+							if err != nil {
+								mu.Lock()
+								res.Timeouts[i]++
+								mu.Unlock()
+								continue
+							}
+						} else {
+							g = tn.Lock(key)
+						}
+						at := time.Now()
+						mu.Lock()
+						res.Grants = append(res.Grants, i)
+						mu.Unlock()
+						time.Sleep(op.Hold)
+						mu.Lock()
+						res.Hold[i] += time.Since(at)
+						mu.Unlock()
+						g.Unlock()
+					case sim.OpClose:
+						// Close retires the whole tenant identity; the
+						// next acquire runs under a fresh registration,
+						// matching the single-lock close/re-register
+						// lifecycle at table scope.
+						tn.Close()
+						tn = m.Tenant(ent.Name, 1)
+					}
+				}
+			}()
+		}
+	}
+	if err := waitWall(&wg, wallWatchdog(s)); err != nil {
+		return res, err
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("wall-side manager invariants: %w", err)
 	}
 	return res, nil
 }
@@ -316,36 +455,80 @@ const DivGrantCount = "grant-count"
 // cases: any deterministic scenario is a differential test. When a
 // scenario allows grant-order, the grant multiset is still enforced:
 // each entity must be granted the same number of times on both sides.
+// Multi-key scenarios compare key by key: each key is an independent
+// lock on both substrates, so grant order is only defined within a
+// key, and a divergence names the key it came from.
 func Diff(c *Compiled) (allowed, undocumented []oracle.Divergence, err error) {
+	if len(c.Keyed) > 0 {
+		return diffKeyed(c)
+	}
 	simR := RunSim(c)
 	realR, err := RunCheck(c)
 	if err != nil {
 		return nil, nil, err
 	}
-	for _, d := range oracle.Compare(simR, realR) {
+	return splitDivergences(c, oracle.Compare(simR, realR), simR, realR, -1)
+}
+
+// diffKeyed runs the per-key differential comparison of a multi-key
+// scenario.
+func diffKeyed(c *Compiled) (allowed, undocumented []oracle.Divergence, err error) {
+	simPer := make([]sim.ScriptResult, len(c.Keyed))
+	for k, s := range c.Keyed {
+		simPer[k] = sim.RunScript(*s)
+	}
+	realPer, err := runCheckKeyed(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	for k := range c.Keyed {
+		a, u, err := splitDivergences(c, oracle.Compare(simPer[k], realPer[k]), simPer[k], realPer[k], k)
+		if err != nil {
+			return nil, nil, err
+		}
+		allowed = append(allowed, a...)
+		undocumented = append(undocumented, u...)
+	}
+	return allowed, undocumented, nil
+}
+
+// splitDivergences sorts comparator findings into documented and
+// undocumented per the scenario's allow list, applies the grant-count
+// supplement when grant-order is allowed, and prefixes the key of a
+// multi-key comparison (key >= 0) so a divergence names its lock.
+func splitDivergences(c *Compiled, divs []oracle.Divergence, simR, realR sim.ScriptResult, key int) (allowed, undocumented []oracle.Divergence, err error) {
+	tag := func(d oracle.Divergence) oracle.Divergence {
+		if key >= 0 {
+			d.Detail = fmt.Sprintf("key %d: %s", key, d.Detail)
+		}
+		return d
+	}
+	for _, d := range divs {
 		if contains(c.Scenario.Allow, d.Code) {
-			allowed = append(allowed, d)
+			allowed = append(allowed, tag(d))
 		} else {
-			undocumented = append(undocumented, d)
+			undocumented = append(undocumented, tag(d))
 		}
 	}
 	if contains(c.Scenario.Allow, oracle.DivGrantOrder) {
-		a, b := grantCounts(c, simR), grantCounts(c, realR)
+		a, b := foldGrants(simR), foldGrants(realR)
 		for e := range a {
 			if a[e] != b[e] {
-				undocumented = append(undocumented, oracle.Divergence{
+				undocumented = append(undocumented, tag(oracle.Divergence{
 					Code:   DivGrantCount,
 					Detail: fmt.Sprintf("entity %d: sim %d grants, real %d", e, a[e], b[e]),
-				})
+				}))
 			}
 		}
 	}
 	return allowed, undocumented, nil
 }
 
-// grantCounts folds a grant order into per-entity counts.
-func grantCounts(c *Compiled, r sim.ScriptResult) []int {
-	counts := make([]int, len(c.Names))
+// foldGrants folds a grant order into per-entity counts (indexed by
+// whatever entity space r uses — global for merged results, local for
+// one key's).
+func foldGrants(r sim.ScriptResult) []int {
+	counts := make([]int, len(r.Hold))
 	for _, e := range r.Grants {
 		counts[e]++
 	}
@@ -366,7 +549,11 @@ func contains(xs []string, x string) bool {
 func Summary(c *Compiled, substrate string, r sim.ScriptResult) string {
 	s := c.Scenario
 	var b strings.Builder
-	fmt.Fprintf(&b, "scenario %s lock %s seed %d entities %d\n", s.Name, s.Lock, c.Seed, len(c.Names))
+	fmt.Fprintf(&b, "scenario %s lock %s seed %d entities %d", s.Name, s.Lock, c.Seed, len(c.Names))
+	if len(c.Keyed) > 0 {
+		fmt.Fprintf(&b, " keys %d", len(c.Keyed))
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "substrate %s\n", substrate)
 	fmt.Fprintf(&b, "  %-14s %-10s %7s %9s %5s %12s %6s\n", "entity", "group", "grants", "timeouts", "bans", "hold", "share")
 	grants := make([]int, len(c.Names))
@@ -385,6 +572,20 @@ func Summary(c *Compiled, substrate string, r sim.ScriptResult) string {
 	}
 	fmt.Fprintf(&b, "  total grants %d timeouts %d bans %d jain-hold %.3f\n",
 		len(r.Grants), totalT, totalB, JainHold(r))
+	if len(c.Keyed) > 0 {
+		// Grant order is only defined within a key: one line per key,
+		// recovered from the merged order via each entity's key.
+		for k := range c.Keyed {
+			fmt.Fprintf(&b, "  order[k%d]", k)
+			for _, e := range r.Grants {
+				if c.KeyOf[e] == k {
+					fmt.Fprintf(&b, " %s", c.Names[e])
+				}
+			}
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "  order")
 	for _, e := range r.Grants {
 		fmt.Fprintf(&b, " %s", c.Names[e])

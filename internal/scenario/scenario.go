@@ -11,6 +11,14 @@
 //     virtual clock (internal/check/oracle), and
 //   - wall: real goroutines on the real clock.
 //
+// A scenario normally targets one lock; `keys <n>` widens it to a
+// keyed lock table (mutex only), with each group pinned to one key via
+// `key <i>`. The deterministic substrates decompose a multi-key
+// scenario into independent per-key scripts — keys of a table are
+// independent locks, so sim and check compare key by key — while the
+// wall substrate drives a real scl.Manager (one tenant per entity), so
+// the table path itself runs under the real scheduler.
+//
 // Because compilation samples every random draw up front with the
 // scenario's seed, the sim and check substrates see byte-identical
 // workloads and the differential oracle (internal/check/oracle)
@@ -150,6 +158,10 @@ type Group struct {
 	Name string
 	// Count is the population size.
 	Count int
+	// Key is the lock-table key index the group's entities run against
+	// (multi-key scenarios; 0 in single-key scenarios). Entities never
+	// span keys: a group is pinned to one key for its whole script.
+	Key int
 	// Writer marks an RW scenario's writer class (readers otherwise);
 	// invalid in mutex scenarios.
 	Writer bool
@@ -231,6 +243,15 @@ type Scenario struct {
 	Lock LockKind
 	// Slice is the u-SCL slice (mutex; 0 = the lock's 2ms default).
 	Slice time.Duration
+	// Keys, when > 1, makes this a multi-key scenario: the workload is
+	// a keyed lock table (keys k0..k<Keys-1>) instead of one lock, and
+	// each group pins its entities to one key. The deterministic
+	// substrates run each key's script independently (keys of a table
+	// are independent locks) and merge the per-entity results; the wall
+	// substrate drives a real scl.Manager with one tenant per entity.
+	// Multi-key is mutex-only. 0 or 1 means the classic single-lock
+	// form.
+	Keys int
 	// Period is the RW-SCL phase period (rw; 0 = 2ms).
 	Period time.Duration
 	// ReadWeight/WriteWeight are the RW class weights (0 = 1).
@@ -257,6 +278,15 @@ func (s *Scenario) Entities() int {
 	return n
 }
 
+// KeyCount returns the number of lock-table keys the scenario spans
+// (1 for the classic single-lock form).
+func (s *Scenario) KeyCount() int {
+	if s.Keys > 1 {
+		return s.Keys
+	}
+	return 1
+}
+
 // Validate checks cross-field consistency beyond what the parser can
 // see line by line.
 func (s *Scenario) Validate() error {
@@ -265,6 +295,12 @@ func (s *Scenario) Validate() error {
 	}
 	if len(s.Groups) == 0 {
 		return fmt.Errorf("scenario %s: no entity groups", s.Name)
+	}
+	if s.Keys < 0 {
+		return fmt.Errorf("scenario %s: keys must be >= 0", s.Name)
+	}
+	if s.Keys > 1 && s.Lock != LockMutex {
+		return fmt.Errorf("scenario %s: multi-key (keys %d) is mutex-only", s.Name, s.Keys)
 	}
 	seen := map[string]bool{}
 	for i := range s.Groups {
@@ -281,6 +317,9 @@ func (s *Scenario) Validate() error {
 		}
 		if s.Lock == LockMutex && g.Writer {
 			return fmt.Errorf("scenario %s: group %s: class writer is rw-only", s.Name, g.Name)
+		}
+		if g.Key < 0 || g.Key >= s.KeyCount() {
+			return fmt.Errorf("scenario %s: group %s: key %d out of range [0, %d)", s.Name, g.Name, g.Key, s.KeyCount())
 		}
 		if s.Lock == LockRW && (g.Timeout > 0 || g.CloseEvery > 0) {
 			return fmt.Errorf("scenario %s: group %s: timeout/close-every are mutex-only", s.Name, g.Name)
@@ -323,6 +362,17 @@ func (s *Scenario) Validate() error {
 			}
 		} else if g.Think != (Dist{}) {
 			return fmt.Errorf("scenario %s: group %s: think is closed-arrival-only", s.Name, g.Name)
+		}
+	}
+	if s.Keys > 1 {
+		used := make([]bool, s.Keys)
+		for i := range s.Groups {
+			used[s.Groups[i].Key] = true
+		}
+		for k, u := range used {
+			if !u {
+				return fmt.Errorf("scenario %s: key %d has no groups (declared keys %d)", s.Name, k, s.Keys)
+			}
 		}
 	}
 	for _, code := range s.Allow {

@@ -23,6 +23,9 @@ func Workload(c *Compiled) check.Workload {
 	if c.RW != nil {
 		return rwWorkload(c)
 	}
+	if len(c.Keyed) > 0 {
+		return managerWorkload(c)
+	}
 	return mutexWorkload(c)
 }
 
@@ -105,6 +108,95 @@ func runMutexOps(sched *check.Sched, m *scl.Mutex, h *scl.Handle, ent sim.Script
 		}
 		if err := m.CheckInvariants(); err != nil {
 			sched.Failf("invariants broken after op %d: %v", i, err)
+		}
+	}
+}
+
+// managerWorkload drives a multi-key scenario against a real
+// scl.Manager under the explorer: one tenant per entity, one key per
+// group's declared index, mutual exclusion asserted per key (keys are
+// independent locks, so a cross-key hold is legal; two holders of the
+// same key never are). OpClose closes the whole tenant and
+// re-registers it, churning the stripe books and handle pools through
+// every explored schedule. Teardown must leave the table with zero
+// tenant identities.
+func managerWorkload(c *Compiled) check.Workload {
+	s := c.Scenario
+	var m *scl.Manager
+	return check.Workload{
+		Name: "scenario:" + s.Name,
+		Setup: func(sched *check.Sched) {
+			m = scl.NewManager(scl.ManagerOptions{
+				Lock: scl.Options{Slice: s.Slice},
+				Name: s.Name,
+			}, scl.WithStripes(2))
+			held := make([]int, len(c.Keyed))
+			for k := range c.Keyed {
+				key := fmt.Sprintf("k%d", k)
+				for local, ent := range c.Keyed[k].Entities {
+					g, ent := c.GlobalOf[k][local], ent
+					sched.Go(fmt.Sprintf("e%d", g), func() {
+						runManagerOps(sched, m, key, ent, &held[c.KeyOf[g]])
+					})
+				}
+			}
+		},
+		Validate: func() error {
+			if err := m.CheckInvariants(); err != nil {
+				return err
+			}
+			if n := m.Stats().Identities; n != 0 {
+				return fmt.Errorf("%d tenant identities left after all tenants closed", n)
+			}
+			return nil
+		},
+	}
+}
+
+// runManagerOps drives one entity's scripted ops against the manager
+// under the explorer.
+func runManagerOps(sched *check.Sched, m *scl.Manager, key string, ent sim.ScriptEntity, held *int) {
+	tn := m.Tenant(ent.Name, 1)
+	defer func() { tn.Close() }()
+	enter := func() {
+		*held++
+		if *held != 1 {
+			sched.Failf("mutual exclusion violated on %s: %d holders", key, *held)
+		}
+	}
+	check.Sleep(ent.Start)
+	for i, op := range ent.Ops {
+		switch op.Kind {
+		case sim.OpThink:
+			check.Sleep(op.Think)
+		case sim.OpAcquire, sim.OpAcquireTimeout:
+			var g *scl.Grant
+			if op.Kind == sim.OpAcquireTimeout {
+				ctx, cancel := context.WithCancel(context.Background())
+				op := op
+				sched.Go("canceller", func() {
+					check.Sleep(op.Timeout)
+					cancel()
+				})
+				var err error
+				g, err = tn.LockContext(ctx, key)
+				cancel()
+				if err != nil {
+					break
+				}
+			} else {
+				g = tn.Lock(key)
+			}
+			enter()
+			check.Sleep(op.Hold)
+			*held--
+			g.Unlock()
+		case sim.OpClose:
+			tn.Close()
+			tn = m.Tenant(ent.Name, 1)
+		}
+		if err := m.CheckInvariants(); err != nil {
+			sched.Failf("manager invariants broken after op %d: %v", i, err)
 		}
 	}
 }
