@@ -479,6 +479,80 @@ func BenchmarkSyncMutexContended2(b *testing.B)  { benchSyncContended(b, 2) }
 func BenchmarkSyncMutexContended8(b *testing.B)  { benchSyncContended(b, 8) }
 func BenchmarkSyncMutexContended32(b *testing.B) { benchSyncContended(b, 32) }
 
+// benchMutexContendedDo is benchMutexContended through the combining
+// API: n goroutines, each a distinct entity, run the same tiny section
+// via Handle.Do, so contended calls publish into the combining stack
+// and the releasing holder executes them in batches. The comparison
+// against BenchmarkSyncMutexContended{8,32} is the headline combining
+// number: batching amortizes the ownership handoff that dominates the
+// classic contended ladder.
+func benchMutexContendedDo(b *testing.B, n int) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	m := scl.NewMutex(scl.Options{Slice: 100 * time.Microsecond})
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	var shared int64
+	handles := make([]*scl.Handle, n)
+	for i := range handles {
+		handles[i] = m.Register()
+	}
+	var idx atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		h := handles[int(idx.Add(1)-1)%n]
+		section := func() { shared++ }
+		for pb.Next() {
+			h.Do(section)
+		}
+	})
+	_ = shared
+}
+
+func BenchmarkMutexContendedDo2(b *testing.B)  { benchMutexContendedDo(b, 2) }
+func BenchmarkMutexContendedDo8(b *testing.B)  { benchMutexContendedDo(b, 8) }
+func BenchmarkMutexContendedDo32(b *testing.B) { benchMutexContendedDo(b, 32) }
+
+// BenchmarkMutexDoMixed interleaves combining and classic users on one
+// lock: half the goroutines run their sections through Handle.Do, half
+// through Lock/Unlock. This is the realistic adoption shape (a hot
+// path converted to Do while the rest of the codebase still takes the
+// lock), and it keeps the drain/queue interaction — combined batches
+// executing between a classic release and the next classic grant —
+// honest under the same gate as the pure ladders.
+func BenchmarkMutexDoMixed(b *testing.B) {
+	const n = 8
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	m := scl.NewMutex(scl.Options{Slice: 100 * time.Microsecond})
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	var shared int64
+	handles := make([]*scl.Handle, n)
+	for i := range handles {
+		handles[i] = m.Register()
+	}
+	var idx atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		me := int(idx.Add(1) - 1)
+		h := handles[me%n]
+		if me%2 == 0 {
+			section := func() { shared++ }
+			for pb.Next() {
+				h.Do(section)
+			}
+			return
+		}
+		for pb.Next() {
+			h.Lock()
+			shared++
+			h.Unlock()
+		}
+	})
+	_ = shared
+}
+
 // BenchmarkRWLockReaderReacquire measures the RW-SCL read-phase fast path:
 // repeated shared acquisitions inside one read slice.
 func BenchmarkRWLockReaderReacquire(b *testing.B) {

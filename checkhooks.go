@@ -42,6 +42,30 @@ import (
 // off check.GID (the managed goroutine's spawn index), not runtime
 // identity, so a replayed seed takes identical branches.
 //
+// The combining path (Handle.Do, combine.go) adds three decision sites
+// around its lock-free stack:
+//
+//   - "mu.combine.publish": between a Do caller observing the lock held
+//     and its push CAS landing — the publish-vs-release race. A release
+//     scheduled here must either drain the request or leave the lock
+//     idle and wake-walk it; the checker explores both.
+//   - "mu.combine.drain": in takeCombineBatch, before the holder swaps
+//     the stack empty — racing publishers land either in this batch or
+//     the next.
+//   - "mu.combine.handoff": after a drained batch's charges are booked,
+//     before the publishers are released with the done-store — the
+//     window where a publisher must not yet observe its own completion.
+//
+// The publisher's wait parks at "mu.combine.wait" (and
+// "mu.combine.claimed" once a combiner owns the request); its predicate
+// reads only the request state and the packed word, so the explorer can
+// wake it against any interleaving of the drain.
+//
+// RWLock.Do mirrors the same three sites for the writer-side stack —
+// "rw.combine.publish", "rw.combine.drain", "rw.combine.handoff" — with
+// parks at "rw.combine.wait"/"rw.combine.claimed"; the publisher's
+// predicate watches the writer-active bit instead of the held bit.
+//
 // The Manager threads its table-level decisions through the same seam:
 // its stripe mutexes go through lockMutex/unlockMutex, and it marks
 // "mgr.stripe" (stripe selected, before the table-level ban check),

@@ -2,8 +2,12 @@
 //
 // It reads benchmark output on stdin, parses the standard result lines,
 // and appends one labeled run to a JSON file (default BENCH_scl.json).
-// The raw benchmark lines are preserved verbatim inside each run, so the
-// file stays benchstat-compatible — extract any two runs and diff them:
+// Repeated lines for one benchmark (`go test -count=N`, as `make bench`
+// passes) are collapsed to the best sample — interference only ever
+// adds time, so the minimum is the sample least disturbed by the rest
+// of the machine. The raw benchmark lines are preserved verbatim inside
+// each run, so the file stays benchstat-compatible — extract any two
+// runs and diff them:
 //
 //	jq -r '.runs[0].raw[]' BENCH_scl.json > old.txt
 //	jq -r '.runs[-1].raw[]' BENCH_scl.json > new.txt
@@ -14,12 +18,28 @@
 // performance trajectory over time.
 //
 // With -compare the command instead reads an existing trajectory and
-// gates on it: the newest run is checked against the one before it, and
-// the exit status is non-zero when any benchmark present in both
-// regressed its ns/op by more than -threshold percent (default 20).
-// `make bench` runs the gate right after appending:
+// gates on it: the newest run is checked against the best ns/op each
+// benchmark posted over the preceding -window runs (default 3), and
+// the exit status is non-zero when any benchmark present on both sides
+// regressed by more than -threshold percent (default 20). Gating on
+// the recent best rather than the single previous run keeps one
+// scheduler-latency spike (handoff-bound benchmarks on a loaded box
+// routinely jump 2x for one run) from failing an unrelated change,
+// while a real regression — worse than every recent run — still fails,
+// and so does slow creep that compounds past the threshold across the
+// window. Benchmarks whose baseline exceeds -macro-cutoff ns/op
+// (simulator replays, whole-scenario runs) are report-only: they
+// measure the box's scheduler and GC as much as this repo, and on a
+// busy single-CPU machine they swing 40% between runs of unchanged
+// code. `make bench` runs the gate right after appending:
 //
 //	benchjson -compare BENCH_scl.json
+//
+// When the recording machine itself changes in a way the automatic
+// sync-baseline factor cannot see (scheduler latency rather than CPU
+// speed), record the first run of the new epoch with -hop "<reason>":
+// the declaration is stored in the trajectory and -compare never
+// draws a baseline from across the most recent hop.
 package main
 
 import (
@@ -51,8 +71,17 @@ type Result struct {
 
 // Run is one labeled benchmark session.
 type Run struct {
-	Date    string   `json:"date"`
-	Label   string   `json:"label,omitempty"`
+	Date  string `json:"date"`
+	Label string `json:"label,omitempty"`
+	// Hop, when non-empty, declares this run the start of a new machine
+	// epoch (the text says what changed) — -compare never reaches
+	// across the most recent hop for its baseline. The sync-baseline
+	// machine factor detects CPU-speed hops automatically, but a
+	// container can also change in ways the factor cannot see (a
+	// noisier scheduler shifts park/wake-bound benchmarks while
+	// CPU-bound baselines hold still); -hop is the explicit,
+	// in-history declaration for those.
+	Hop     string   `json:"hop,omitempty"`
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
@@ -73,18 +102,22 @@ func main() {
 	out := flag.String("out", "BENCH_scl.json", "trajectory file to append to")
 	label := flag.String("label", "", "label for this run")
 	pkg := flag.String("pkg", "scl", "package name recorded in a fresh file")
-	compare := flag.String("compare", "", "regression mode: compare the file's last run against the previous one instead of reading stdin")
+	compare := flag.String("compare", "", "regression mode: compare the file's last run against the recent best instead of reading stdin")
 	threshold := flag.Float64("threshold", 20, "ns/op regression percentage that fails -compare")
+	window := flag.Int("window", 3, "how many prior runs the -compare baseline is drawn from")
+	hop := flag.String("hop", "", "declare this run the start of a new machine epoch (why the machine changed); -compare will not reach across it")
+	macroCutoff := flag.Float64("macro-cutoff", 10_000, "baseline ns/op above which a benchmark is report-only in -compare (0 disables the cutoff)")
+	volatileRe := flag.String("volatile", "", "regexp of benchmark names that are report-only in -compare regardless of size")
 	flag.Parse()
 
 	if *compare != "" {
-		if err := runCompare(*compare, *threshold); err != nil {
+		if err := runCompare(*compare, *threshold, *window, *macroCutoff, *volatileRe); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	run := Run{Date: time.Now().UTC().Format(time.RFC3339), Label: *label}
+	run := Run{Date: time.Now().UTC().Format(time.RFC3339), Label: *label, Hop: *hop}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
@@ -110,7 +143,7 @@ func main() {
 			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
 		r.Metrics = parseMetrics(line[len(m[0]):], &r)
-		run.Results = append(run.Results, r)
+		run.Results = appendBest(run.Results, r)
 		run.Raw = append(run.Raw, strings.TrimSpace(line))
 	}
 	if err := sc.Err(); err != nil {
@@ -141,6 +174,24 @@ func main() {
 		len(run.Results), *out, len(f.Runs))
 }
 
+// appendBest folds a parsed result into the run, collapsing repeated
+// names (`go test -count=N`) to the sample with the lowest ns/op. The
+// minimum is the standard low-noise estimator for a benchmark's true
+// cost — external interference only ever adds time, so the best of N
+// short windows is the sample least disturbed by the rest of the
+// machine. Raw lines still keep every sample for benchstat.
+func appendBest(results []Result, r Result) []Result {
+	for i := range results {
+		if results[i].Name == r.Name {
+			if r.NsPerOp < results[i].NsPerOp {
+				results[i] = r
+			}
+			return results
+		}
+	}
+	return append(results, r)
+}
+
 // parseMetrics reads the "value unit" pairs that follow ns/op on a
 // benchmark line: custom b.ReportMetric output plus, when custom
 // metrics push them off the main regex, the -benchmem B/op and
@@ -169,22 +220,48 @@ func parseMetrics(tail string, r *Result) map[string]float64 {
 	return metrics
 }
 
-// runCompare checks the trajectory's newest run against the run before
-// it and fails when any benchmark present in both regressed its ns/op
-// by more than threshold percent. Benchmarks that appear on only one
-// side are reported but never fail the gate (added or retired
-// benchmarks are not regressions).
+// runCompare checks the trajectory's newest run against the preceding
+// window runs and fails when any benchmark regressed its ns/op by more
+// than threshold percent against the *best* (lowest, after machine
+// normalization) value it posted in the window. One run's scheduler
+// hiccup therefore never sets the bar — a regression must beat every
+// recent run to fail — while monotone creep still trips the gate once
+// it compounds past the threshold against the window's fastest sample.
+// Benchmarks that appear only in the newest run (or only in history)
+// are reported but never fail the gate (added or retired benchmarks
+// are not regressions).
 //
-// Raw ns/op is only comparable when both runs came from equally fast
-// hardware, so the gate normalizes by the machine factor: the median
-// ns/op ratio across the sync-primitive baseline benchmarks
-// (BenchmarkSync*, BenchmarkRWMutex*), which exercise the standard
-// library only and cannot be slowed by changes to this repo. When the
-// trajectory hops to a slower or faster machine the baselines shift
-// with everything else and the factor absorbs the shift; a genuine
-// regression moves an scl benchmark relative to the baselines and
-// still fails.
-func runCompare(path string, threshold float64) error {
+// Only stable micro benchmarks gate. A benchmark whose baseline ns/op
+// exceeds macroCutoff — the simulator replays and scenario runs,
+// milliseconds of goroutine scheduling and allocation per op —
+// measures the machine's scheduler and GC at least as much as this
+// repo's code, and on a busy single-CPU box such benchmarks swing 40%
+// between runs of *unchanged* code. Benchmarks matching the volatile
+// regexp (the caller names its handoff-bound ladders there: every op
+// includes a goroutine park/wake, whose cost is a per-process kernel
+// regime — measured bimodal at 2.3x for unchanged code on one CPU) are
+// excluded the same way. Both classes are reported with their deltas
+// (and counted in the summary, so the exclusion is visible) but never
+// fail the gate; the single-goroutine lock-path benchmarks the gate
+// exists for are held to the strict threshold.
+//
+// Raw ns/op is only comparable when two runs came from equally fast
+// hardware, so each window run is normalized by its machine factor
+// against the newest run: the median ns/op ratio across the
+// sync-primitive baseline benchmarks (BenchmarkSync*,
+// BenchmarkRWMutex*), which exercise the standard library only and
+// cannot be slowed by changes to this repo. When the trajectory hops
+// to a slower or faster machine the baselines shift with everything
+// else and the factor absorbs the shift; a genuine regression moves an
+// scl benchmark relative to the baselines and still fails.
+func runCompare(path string, threshold float64, window int, macroCutoff float64, volatileRe string) error {
+	var volatile *regexp.Regexp
+	if volatileRe != "" {
+		var err error
+		if volatile, err = regexp.Compile(volatileRe); err != nil {
+			return fmt.Errorf("-volatile: %w", err)
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -197,37 +274,95 @@ func runCompare(path string, threshold float64) error {
 		fmt.Fprintf(os.Stderr, "benchjson: %s has %d run(s); nothing to compare\n", path, len(f.Runs))
 		return nil
 	}
-	prev, cur := f.Runs[len(f.Runs)-2], f.Runs[len(f.Runs)-1]
-	base := make(map[string]Result, len(prev.Results))
-	for _, r := range prev.Results {
-		base[r.Name] = r
+	if window < 1 {
+		window = 1
 	}
-	factor := machineFactor(base, cur.Results)
+	cur := f.Runs[len(f.Runs)-1]
+	first := len(f.Runs) - 1 - window
+	if first < 0 {
+		first = 0
+	}
+	// A declared machine hop starts a fresh epoch: the baseline never
+	// reaches across the most recent hop-marked run (which is itself
+	// the first comparable run of its epoch).
+	for i := len(f.Runs) - 1; i > first; i-- {
+		if f.Runs[i].Hop != "" {
+			first = i
+			break
+		}
+	}
+	if first == len(f.Runs)-1 {
+		fmt.Fprintf(os.Stderr, "benchjson: machine hop declared (%s); no prior same-epoch run to compare against\n", cur.Hop)
+		return nil
+	}
+	// Baseline per benchmark: the lowest ns/op over the window, in
+	// current-machine units (each window run scaled by its own factor
+	// against the newest run).
+	base := make(map[string]float64)
+	var factor float64 = 1 // nearest pair's factor, for the hop decision
+	for i := first; i < len(f.Runs)-1; i++ {
+		prev := make(map[string]Result, len(f.Runs[i].Results))
+		for _, r := range f.Runs[i].Results {
+			prev[r.Name] = r
+		}
+		fac := machineFactor(prev, cur.Results)
+		if i == len(f.Runs)-2 {
+			factor = fac
+		}
+		for name, r := range prev {
+			if r.NsPerOp <= 0 {
+				continue
+			}
+			norm := r.NsPerOp * fac
+			if old, ok := base[name]; !ok || norm < old {
+				base[name] = norm
+			}
+		}
+	}
 	if factor != 1 {
 		fmt.Fprintf(os.Stderr, "benchjson: machine factor %.2fx (median sync-baseline ns/op ratio); comparing normalized ns/op\n", factor)
 	}
-	// A factor far from 1 means the two runs came from different
-	// hardware. Scalar normalization is approximate there (handoff-bound
-	// benchmarks scale with scheduler latency, not CPU speed), so the
-	// cross-machine pair is report-only; the next run on the new machine
-	// compares same-machine again and restores the strict gate.
+	// A factor far from 1 means the newest run came from different
+	// hardware than its predecessor. Scalar normalization is
+	// approximate there (handoff-bound benchmarks scale with scheduler
+	// latency, not CPU speed), so the cross-machine comparison is
+	// report-only; the next run on the new machine compares
+	// same-machine again and restores the strict gate.
 	hop := factor > 1.25 || factor < 0.8
+	prevRun := f.Runs[len(f.Runs)-2]
+	prevMetrics := make(map[string]Result, len(prevRun.Results))
+	for _, r := range prevRun.Results {
+		prevMetrics[r.Name] = r
+	}
 	var regressions []string
+	macroSkipped := 0
 	for _, r := range cur.Results {
-		prevR, ok := base[r.Name]
+		old, ok := base[r.Name]
 		if !ok {
 			fmt.Printf("%-50s %12.1f ns/op  (new)\n", r.Name, r.NsPerOp)
 			continue
 		}
-		old := prevR.NsPerOp
-		delta := 0.0
-		if old > 0 {
-			delta = (r.NsPerOp/factor - old) / old * 100
+		delta := (r.NsPerOp - old) / old * 100
+		reportOnly := ""
+		switch {
+		case macroCutoff > 0 && old > macroCutoff:
+			reportOnly = "macro"
+		case volatile != nil && volatile.MatchString(r.Name):
+			reportOnly = "volatile"
 		}
-		fmt.Printf("%-50s %12.1f -> %12.1f ns/op  %+6.1f%%\n", r.Name, old, r.NsPerOp, delta)
+		note := ""
+		if reportOnly != "" {
+			note = "  (" + reportOnly + ": report-only)"
+		}
+		fmt.Printf("%-50s %12.1f -> %12.1f ns/op  %+6.1f%%%s\n", r.Name, old, r.NsPerOp, delta, note)
 		if delta > threshold {
-			regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%%)", r.Name, old, r.NsPerOp, delta, threshold))
+			if reportOnly != "" {
+				macroSkipped++
+			} else {
+				regressions = append(regressions, fmt.Sprintf("%s: %.1f -> %.1f ns/op (%+.1f%% > %.0f%% vs best of %d run(s))", r.Name, old, r.NsPerOp, delta, threshold, len(f.Runs)-1-first))
+			}
 		}
+		prevR := prevMetrics[r.Name]
 		// Custom metrics shared by both runs (scenario throughput and
 		// fairness keys) are reported for the record but never gate:
 		// a fairness number has no universal regression direction.
@@ -251,7 +386,10 @@ func runCompare(path string, threshold float64) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%:\n  %s",
 			len(regressions), threshold, strings.Join(regressions, "\n  "))
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% (%s vs %s)\n", threshold, cur.Date, prev.Date)
+	if macroSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d report-only benchmark(s) beyond %.0f%% did not gate (macro baseline > %.0f ns/op, or -volatile match)\n", macroSkipped, threshold, macroCutoff)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regression beyond %.0f%% (%s vs best of %d prior run(s))\n", threshold, cur.Date, len(f.Runs)-1-first)
 	return nil
 }
 

@@ -32,7 +32,7 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "explore", "explore, replay, dfs, or oracle")
-		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, rw-churn, rw-shard, or manager-churn")
+		workload  = flag.String("workload", "mutex-churn", "mutex-churn, mutex-contend, mutex-combine, rw-churn, rw-shard, or manager-churn")
 		schedules = flag.Int("schedules", 20000, "exploration budget (explore mode)")
 		seed      = flag.Int64("seed", 1, "base seed (explore) or schedule seed (replay)")
 		strategy  = flag.String("strategy", "pct", "schedule chooser for explore mode: pct or random")
@@ -100,6 +100,8 @@ func pick(name string) check.Workload {
 		return workloads.MutexChurn(workloads.MutexOpts{Seed: 1, Cancel: true, CloseMid: true})
 	case "mutex-contend":
 		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
+	case "mutex-combine":
+		return workloads.MutexCombine(workloads.CombineOpts{Seed: 1})
 	case "rw-churn":
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
 	case "rw-shard":

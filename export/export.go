@@ -130,6 +130,12 @@ type EntitySnapshot struct {
 	// Cancels counts abandoned acquisitions: LockContext calls that
 	// returned ctx.Err() from the ban sleep or the waiter queue.
 	Cancels int64 `json:"cancels"`
+	// Combines counts sections this entity executed for others while
+	// releasing (Handle.Do batches it drained); Combined counts the
+	// entity's own sections a combiner ran on its behalf. Combined
+	// sections are already included in Acquisitions and Hold.
+	Combines int64 `json:"combines,omitempty"`
+	Combined int64 `json:"combined,omitempty"`
 	// Per-operation hold and wait quantiles from reservoir samples.
 	HoldP50 time.Duration `json:"holdP50"`
 	HoldP99 time.Duration `json:"holdP99"`
@@ -150,6 +156,10 @@ type RWLockSnapshot struct {
 	// class (RLockContext / WLockContext returning ctx.Err()).
 	ReaderCancels int64 `json:"readerCancels"`
 	WriterCancels int64 `json:"writerCancels"`
+	// WriterCombined counts writer sections executed by a releasing
+	// writer on the publisher's behalf (RWLock.Do); they are already
+	// included in WriterOps and WriterHold.
+	WriterCombined int64 `json:"writerCombined,omitempty"`
 }
 
 // ManagerSnapshot is one lock Manager's table-level accounting: the
@@ -219,15 +229,16 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, l := range rwlocks {
 		s := l.src()
 		snap.RWLocks = append(snap.RWLocks, RWLockSnapshot{
-			Name:          l.name,
-			Elapsed:       s.Elapsed,
-			Idle:          s.Idle,
-			ReaderHold:    s.ReaderHold,
-			WriterHold:    s.WriterHold,
-			ReaderOps:     s.ReaderOps,
-			WriterOps:     s.WriterOps,
-			ReaderCancels: s.ReaderCancels,
-			WriterCancels: s.WriterCancels,
+			Name:           l.name,
+			Elapsed:        s.Elapsed,
+			Idle:           s.Idle,
+			ReaderHold:     s.ReaderHold,
+			WriterHold:     s.WriterHold,
+			ReaderOps:      s.ReaderOps,
+			WriterOps:      s.WriterOps,
+			ReaderCancels:  s.ReaderCancels,
+			WriterCancels:  s.WriterCancels,
+			WriterCombined: s.WriterCombined,
 		})
 	}
 	for _, m := range managers {
@@ -305,6 +316,8 @@ func lockSnapshot(name string, s scl.StatsSnapshot) LockSnapshot {
 			BanTime:      s.BanTime[id],
 			Handoffs:     s.Handoffs[id],
 			Cancels:      s.Cancels[id],
+			Combines:     s.Combines[id],
+			Combined:     s.Combined[id],
 			HoldP50:      s.HoldDist[id].P50,
 			HoldP99:      s.HoldDist[id].P99,
 			WaitP50:      s.WaitDist[id].P50,

@@ -70,6 +70,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
 		ew.metric("scl_entity_cancels_total", lb, float64(e.Cancels))
 	})
+	ew.family("scl_entity_combines_total", "counter", "Critical sections the entity executed for others while releasing (Handle.Do batches drained).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_combines_total", lb, float64(e.Combines))
+	})
+	ew.family("scl_entity_combined_total", "counter", "The entity's own sections a combiner ran on its behalf (already counted in acquisitions).")
+	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
+		ew.metric("scl_entity_combined_total", lb, float64(e.Combined))
+	})
 
 	ew.family("scl_entity_hold_seconds", "summary", "Per-operation critical-section length (reservoir sample).")
 	forEachEntity(snap, func(lock string, e EntitySnapshot, lb labels) {
@@ -100,6 +108,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, l := range snap.RWLocks {
 			ew.metric("scl_rwlock_cancels_total", labels{"lock": l.Name, "class": "read"}, float64(l.ReaderCancels))
 			ew.metric("scl_rwlock_cancels_total", labels{"lock": l.Name, "class": "write"}, float64(l.WriterCancels))
+		}
+		ew.family("scl_rwlock_combined_total", "counter", "Writer sections a releasing writer ran on behalf of contended RWLock.Do callers (already counted in acquisitions).")
+		for _, l := range snap.RWLocks {
+			ew.metric("scl_rwlock_combined_total", labels{"lock": l.Name, "class": "write"}, float64(l.WriterCombined))
 		}
 		ew.family("scl_rwlock_idle_seconds_total", "counter", "Total time the RW lock was wholly unheld.")
 		for _, l := range snap.RWLocks {

@@ -30,6 +30,7 @@ func (r *recTracer) OnBan(ev trace.Event)      { r.add(ev) }
 func (r *recTracer) OnHandoff(ev trace.Event)  { r.add(ev) }
 func (r *recTracer) OnAbandon(ev trace.Event)  { r.add(ev) }
 func (r *recTracer) OnReap(ev trace.Event)     { r.add(ev) }
+func (r *recTracer) OnCombine(ev trace.Event)  { r.add(ev) }
 
 func (r *recTracer) events() []trace.Event {
 	r.mu.Lock()

@@ -22,7 +22,7 @@ var (
 	seedFlag = flag.Int64("check.seed", 0,
 		"replay this schedule seed against the selected workload instead of exploring")
 	workloadFlag = flag.String("check.workload", "mutex-churn",
-		"workload for -check.seed replay: mutex-churn, mutex-contend, rw-churn, rw-shard, manager-churn, scenario")
+		"workload for -check.seed replay: mutex-churn, mutex-contend, mutex-combine, rw-churn, rw-shard, manager-churn, scenario")
 	schedulesFlag = flag.Int("check.schedules", 0,
 		"override the exploration budget (number of schedules)")
 	scenarioFlag = flag.String("check.scenario", "",
@@ -53,6 +53,8 @@ func namedWorkload(t *testing.T, name string) check.Workload {
 		return workloads.MutexChurn(workloads.MutexOpts{Seed: 1, Cancel: true, CloseMid: true})
 	case "mutex-contend":
 		return workloads.MutexContend(workloads.ContendOpts{Seed: 1})
+	case "mutex-combine":
+		return workloads.MutexCombine(workloads.CombineOpts{Seed: 1})
 	case "rw-churn":
 		return workloads.RWChurn(workloads.RWOpts{Seed: 1, Cancel: true})
 	case "rw-shard":
@@ -144,6 +146,72 @@ func TestExploreMutexContend(t *testing.T) {
 	sum := check.Explore(check.Opts{Schedules: n, Seed: 3, Mode: "pct", Depth: 3}, w)
 	if sum.Failure != nil {
 		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreMutexCombine explores the combining protocol (Handle.Do)
+// across 10k+ distinct schedules: Do publishers race plain acquires,
+// release-time drains, ban rejections and the idle wake-walk through
+// the mu.combine.* decision sites, with mutual exclusion, exactly-once
+// execution, accounting conservation and a Do-latency bound asserted on
+// every schedule.
+func TestExploreMutexCombine(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexCombine(workloads.CombineOpts{Seed: 11})
+	n := 11000
+	want := 10000
+	if testing.Short() {
+		n, want = 1200, 600
+	}
+	if *schedulesFlag > 0 {
+		n, want = *schedulesFlag, 0
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 11, Mode: "random"}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules, %d total steps", sum.Runs, sum.Distinct, sum.Steps)
+	if sum.Distinct < want {
+		t.Fatalf("only %d distinct schedules in %d runs (want >= %d)", sum.Distinct, sum.Runs, want)
+	}
+}
+
+// TestExploreMutexCombinePCT hunts depth-3 races in the combining
+// protocol (publish-vs-release, drain-vs-withdraw, handoff-vs-close)
+// with PCT priority schedules.
+func TestExploreMutexCombinePCT(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexCombine(workloads.CombineOpts{Seed: 12})
+	n := 2000
+	if testing.Short() {
+		n = 400
+	}
+	sum := check.Explore(check.Opts{Schedules: n, Seed: 12, Mode: "pct", Depth: 3}, w)
+	if sum.Failure != nil {
+		t.Fatalf("exploration failed:\n%v", sum.Failure)
+	}
+	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
+}
+
+// TestExploreMutexCombineDFS enumerates a minimal two-entity combining
+// scenario exhaustively within a branching-depth bound.
+func TestExploreMutexCombineDFS(t *testing.T) {
+	if *seedFlag != 0 {
+		t.Skip("replay handled by TestExploreMutexChurn")
+	}
+	w := workloads.MutexCombine(workloads.CombineOpts{Entities: 2, Ops: 2, Seed: 13})
+	max := 1500
+	if testing.Short() {
+		max = 300
+	}
+	sum := check.ExploreDFS(check.DFSOpts{Depth: 10, MaxRuns: max}, w)
+	if sum.Failure != nil {
+		t.Fatalf("DFS exploration failed:\n%v", sum.Failure)
 	}
 	t.Logf("%d runs, %d distinct schedules", sum.Runs, sum.Distinct)
 }

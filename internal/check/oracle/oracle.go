@@ -186,6 +186,19 @@ func RunReal(s sim.Script) (sim.ScriptResult, error) {
 				case sim.OpClose:
 					h.Close()
 					h = nil
+				case sim.OpDo:
+					if h == nil {
+						h = m.Register()
+						idToEnt[h.ID()] = i
+					}
+					var start, end time.Duration
+					h.Do(func() {
+						start, _ = check.Now()
+						check.Sleep(op.Hold)
+						end, _ = check.Now()
+					})
+					res.Grants = append(res.Grants, i)
+					res.Hold[i] += end - start
 				}
 			}
 		})

@@ -252,6 +252,119 @@ func MutexContend(o ContendOpts) check.Workload {
 	}
 }
 
+// CombineOpts configures the Handle.Do combining workload.
+type CombineOpts struct {
+	// Entities is the number of concurrent entities (default 3).
+	Entities int
+	// Ops is the number of scripted critical sections per entity
+	// (default 3).
+	Ops int
+	// Slice is the lock slice (default 2ms).
+	Slice time.Duration
+	// Seed derives each entity's deterministic op script.
+	Seed int64
+}
+
+// MutexCombine targets the combining protocol (Handle.Do, combine.go):
+// entities run a deterministic mix of Do calls and plain acquires, so
+// published critical sections race classic queueing, release-time
+// drains, ban rejections and the idle wake-walk across every explored
+// interleaving of the mu.combine.* decision sites. On every schedule it
+// asserts:
+//
+//   - mutual exclusion: combined closures and plain critical sections
+//     share one holder counter, so a drain overlapping any hold fails;
+//   - exactly-once: each closure bumps its own (entity, op) cell,
+//     caught double-executed (combiner AND self-serve) or dropped at
+//     Validate;
+//   - conservation: full lock + accountant invariants after every op
+//     (combined usage must land on the publishing entity's books);
+//   - the opportunity-imbalance bound on every Do's total latency, so
+//     a lost wakeup that the deadlock detector cannot see (a publisher
+//     parked while others make progress) still fails the schedule.
+func MutexCombine(o CombineOpts) check.Workload {
+	if o.Entities <= 0 {
+		o.Entities = 3
+	}
+	if o.Ops <= 0 {
+		o.Ops = 3
+	}
+	if o.Slice == 0 {
+		o.Slice = 2 * time.Millisecond
+	}
+	// Holds reach past the slice so drains interleave with bans; the
+	// latency bound mirrors MutexContend's, widened by the max hold.
+	maxHold := 3 * time.Millisecond
+	bound := time.Duration(6*o.Entities)*(o.Slice+maxHold) + maxHold
+	var m *scl.Mutex
+	executed := make([][]int, o.Entities)
+	return check.Workload{
+		Name: "mutex-combine",
+		Setup: func(s *check.Sched) {
+			m = scl.NewMutex(scl.Options{Slice: o.Slice})
+			held := new(int)
+			for e := 0; e < o.Entities; e++ {
+				e := e
+				executed[e] = make([]int, o.Ops)
+				rng := rand.New(rand.NewSource(o.Seed*1000033 + int64(e)))
+				h := m.Register()
+				s.Go(fmt.Sprintf("e%d", e), func() {
+					for i := 0; i < o.Ops; i++ {
+						i := i
+						hold := time.Duration(50+rng.Intn(int(maxHold/time.Microsecond)-50)) * time.Microsecond
+						think := time.Duration(rng.Intn(1500)) * time.Microsecond
+						section := func() {
+							*held++
+							if *held != 1 {
+								s.Failf("mutual exclusion violated: %d holders", *held)
+							}
+							check.Sleep(hold)
+							*held--
+							executed[e][i]++
+						}
+						t0, _ := check.Now()
+						if rng.Intn(3) == 0 {
+							h.Lock()
+							section()
+							h.Unlock()
+						} else {
+							h.Do(section)
+						}
+						t1, _ := check.Now()
+						if wait := t1 - t0; wait > bound {
+							s.Failf("combine latency bound exceeded: op %d took %v (bound %v)", i, wait, bound)
+						}
+						if err := m.CheckInvariants(); err != nil {
+							s.Failf("invariants broken after op %d: %v", i, err)
+						}
+						check.Sleep(think)
+					}
+					h.Close()
+					if err := m.CheckInvariants(); err != nil {
+						s.Failf("invariants broken after close: %v", err)
+					}
+				})
+			}
+		},
+		Validate: func() error {
+			if err := m.CheckInvariants(); err != nil {
+				return err
+			}
+			for e, ops := range executed {
+				for i, n := range ops {
+					if n != 1 {
+						return fmt.Errorf("entity %d op %d executed %d times (want exactly once)", e, i, n)
+					}
+				}
+			}
+			if n := m.Entities(); n != 0 {
+				return fmt.Errorf("%d entities still registered after all handles closed", n)
+			}
+			return nil
+		},
+	}
+}
+
 // RWShardOpts configures the distributed-read-indicator sweep workload.
 type RWShardOpts struct {
 	Readers int

@@ -385,6 +385,53 @@ func (a *Accountant) ChargeWindow(id ID, window, now time.Duration) time.Duratio
 	return pen
 }
 
+// Charge is one entity's share of a combined batch: the critical-section
+// time the combiner measured while executing the entity's closure.
+type Charge struct {
+	ID    ID
+	Usage time.Duration
+}
+
+// FoldBatch books a batch of combiner-measured critical sections in one
+// step: each charge lands in its entity's cumulative usage and the grand
+// total exactly as if the entity had acquired and released itself, and —
+// combining executions being ownership windows outside any slice the
+// entity owns — the penalty decision for each is made immediately,
+// ChargeWindow-style, with the measured window as the slice usage.
+// Returned penalties align with charges and have already been imposed on
+// the books (stacking, like ChargeWindow: combined windows of one entity
+// may land in quick succession and each stayaway is served in full); the
+// caller enforces them on the entity's next acquire attempt and reports
+// them to tracing. Charges for entities never registered (or already
+// reaped mid-wait) are skipped and return a zero penalty — the caller
+// owns registration, and charging a ghost would corrupt the grand total.
+func (a *Accountant) FoldBatch(charges []Charge, now time.Duration) []time.Duration {
+	check.Point("acct.foldbatch")
+	pens := make([]time.Duration, len(charges))
+	for i, c := range charges {
+		e, ok := a.entities[c.ID]
+		if !ok || c.Usage <= 0 {
+			continue
+		}
+		e.usage += c.Usage
+		a.grandUsage += c.Usage
+		e.lastActive = now
+		pen := a.windowPenalty(e, c.Usage)
+		if pen > 0 {
+			base := now
+			if e.bannedUntil > base {
+				base = e.bannedUntil
+			}
+			e.bannedUntil = base + pen
+		}
+		pens[i] = pen
+	}
+	if a.grandUsage > rescaleLimit {
+		a.rescale()
+	}
+	return pens
+}
+
 // BannedUntil returns the absolute time until which id is banned from
 // acquiring (zero if not banned).
 func (a *Accountant) BannedUntil(id ID) time.Duration {

@@ -127,9 +127,10 @@ func CompileSeed(s *Scenario, seed int64) (*Compiled, error) {
 
 // compileEntity samples one entity's operation list: for each arrival,
 // a think op for the gap (when non-zero) followed by the acquire with
-// a sampled critical section; cancellable acquires carry the group
-// timeout, and close-every inserts an OpClose after every n-th
-// acquisition (the next acquire re-registers the entity).
+// a sampled critical section; `do` groups run the section through the
+// combining API (OpDo), cancellable acquires carry the group timeout,
+// and close-every inserts an OpClose after every n-th acquisition (the
+// next acquire re-registers the entity).
 func compileEntity(g *Group, idx int, rng *rand.Rand) ([]sim.ScriptOp, int) {
 	gapper := g.newGapper(idx, g.Count, rng)
 	var ops []sim.ScriptOp
@@ -143,9 +144,12 @@ func compileEntity(g *Group, idx int, rng *rand.Rand) ([]sim.ScriptOp, int) {
 			ops = append(ops, sim.ScriptOp{Kind: sim.OpThink, Think: gap})
 		}
 		cs := g.CS.Sample(rng)
-		if g.Timeout > 0 {
+		switch {
+		case g.Do:
+			ops = append(ops, sim.ScriptOp{Kind: sim.OpDo, Hold: cs})
+		case g.Timeout > 0:
 			ops = append(ops, sim.ScriptOp{Kind: sim.OpAcquireTimeout, Hold: cs, Timeout: g.Timeout})
-		} else {
+		default:
 			ops = append(ops, sim.ScriptOp{Kind: sim.OpAcquire, Hold: cs})
 		}
 		acquires++

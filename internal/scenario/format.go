@@ -67,6 +67,9 @@ func Format(s *Scenario) string {
 		if g.CloseEvery > 0 {
 			fmt.Fprintf(&b, "\t\tclose-every %d\n", g.CloseEvery)
 		}
+		if g.Do {
+			b.WriteString("\t\tdo\n")
+		}
 		b.WriteString("\t}\n")
 	}
 	for _, a := range s.Asserts {

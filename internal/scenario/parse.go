@@ -29,6 +29,7 @@ import (
 //			think <dist>                   (closed only)
 //			timeout <dur>                  (mutex only)
 //			close-every <n>                (mutex only)
+//			do                             (mutex only: combine via Handle.Do)
 //		}
 //		assert jain-hold >= <f> | max-share <= <f> |
 //		       grants >= <n> | timeouts <= <n> | no-lost-grant
@@ -264,6 +265,12 @@ func (p *parser) groupLine(f []string) error {
 			return fmt.Errorf("close-every: %w", err)
 		}
 		p.g.CloseEvery = n
+		return nil
+	case "do":
+		if len(f) != 1 {
+			return fmt.Errorf("`do` takes no arguments")
+		}
+		p.g.Do = true
 		return nil
 	}
 	return fmt.Errorf("unknown group field %q", f[0])

@@ -198,6 +198,26 @@ func runWallMutex(c *Compiled) (sim.ScriptResult, error) {
 					res.Hold[i] += time.Since(at)
 					mu.Unlock()
 					h.Unlock()
+				case sim.OpDo:
+					if h == nil {
+						h = m.Register().SetName(ent.Name)
+						mu.Lock()
+						idToEnt[h.ID()] = i
+						mu.Unlock()
+					}
+					var span time.Duration
+					h.Do(func() {
+						at := time.Now()
+						time.Sleep(op.Hold)
+						span = time.Since(at)
+					})
+					// The grant lands when Do returns: the section may have
+					// run on another entity's stack, but it ran exactly once
+					// and was charged here.
+					mu.Lock()
+					res.Grants = append(res.Grants, i)
+					res.Hold[i] += span
+					mu.Unlock()
 				case sim.OpClose:
 					h.Close()
 					h = nil

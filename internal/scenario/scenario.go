@@ -185,6 +185,15 @@ type Group struct {
 	// CloseEvery, when positive, closes and re-registers the entity
 	// after every CloseEvery-th acquisition (mutex scenarios only).
 	CloseEvery int
+	// Do routes every critical section through the combining API
+	// (scl.Handle.Do / sim USCL.Do) instead of Lock/Unlock: a
+	// contended section may execute on the current holder's stack,
+	// with usage charged to this entity either way. Single-key mutex
+	// scenarios only (the lock table has no combining API), and
+	// incompatible with timeout (Do has no cancellable variant).
+	// Grants are recorded when the call returns, so combine
+	// scenarios normally carry `allow grant-order`.
+	Do bool
 }
 
 // AssertKind enumerates scenario assertions.
@@ -323,6 +332,17 @@ func (s *Scenario) Validate() error {
 		}
 		if s.Lock == LockRW && (g.Timeout > 0 || g.CloseEvery > 0) {
 			return fmt.Errorf("scenario %s: group %s: timeout/close-every are mutex-only", s.Name, g.Name)
+		}
+		if g.Do {
+			if s.Lock != LockMutex {
+				return fmt.Errorf("scenario %s: group %s: do is mutex-only", s.Name, g.Name)
+			}
+			if s.Keys > 1 {
+				return fmt.Errorf("scenario %s: group %s: do is single-key-only (the lock table has no combining API)", s.Name, g.Name)
+			}
+			if g.Timeout > 0 {
+				return fmt.Errorf("scenario %s: group %s: do is incompatible with timeout (Do has no cancellable variant)", s.Name, g.Name)
+			}
 		}
 		switch g.Arrival.Kind {
 		case ArrivalStepped:

@@ -102,6 +102,18 @@ func runMutexOps(sched *check.Sched, m *scl.Mutex, h *scl.Handle, ent sim.Script
 				*held--
 				h.Unlock()
 			}
+		case sim.OpDo:
+			if h == nil {
+				h = m.Register().SetName(ent.Name)
+			}
+			// The section may run on the current holder's goroutine; the
+			// shared held counter still sees exactly one holder because
+			// combined sections execute under the lock's exclusion.
+			h.Do(func() {
+				enter()
+				check.Sleep(op.Hold)
+				*held--
+			})
 		case sim.OpClose:
 			h.Close()
 			h = nil

@@ -55,6 +55,11 @@ type Mutex struct {
 	word atomic.Uint64
 	// fastOps counts fast-path acquisitions since the last fold.
 	fastOps atomic.Int64
+	// combine is the lock-free combining stack (Handle.Do): contended Do
+	// callers push their critical sections here instead of queueing, and
+	// the releasing holder drains a bounded batch (combine.go). Pushes are
+	// lock-free; pops happen only under mu.
+	combine atomic.Pointer[combineReq]
 
 	// csStart and fastHeld are owned by the current lock holder (ordered
 	// across holders by the word CASes): whether the live hold was taken
@@ -64,6 +69,7 @@ type Mutex struct {
 
 	mu        sync.Mutex // guards all fields below
 	acct      *core.Accountant
+	draining  []*combineReq   // batch a drain is executing outside mu
 	refs      map[core.ID]int // handles sharing each entity (Sibling)
 	nextReap  time.Duration   // earliest next inactive-entity sweep
 	fastSince time.Duration   // start of the open fast window (-1: none)
@@ -211,7 +217,7 @@ func (h *Handle) Close() {
 	delete(m.refs, h.id)
 	now := monotime()
 	m.fold(now)
-	inFlight := m.acct.Holding(h.id) || m.entityQueued(h.id)
+	inFlight := m.acct.Holding(h.id) || m.entityQueued(h.id) || m.entityCombining(h.id)
 	if w := m.word.Load(); !inFlight && w&wordHeld != 0 && w&wordOwner == ownerBits(h.id) {
 		// A fast-path hold is in flight (deferred accounting, so the
 		// accountant does not see it). Shut it out with the stale bit —
@@ -254,7 +260,8 @@ func (m *Mutex) dropGhostLocked(id core.ID, now time.Duration) {
 	if _, open := m.refs[id]; open {
 		return
 	}
-	if !m.acct.Registered(id) || m.acct.Holding(id) || m.entityQueued(id) {
+	if !m.acct.Registered(id) || m.acct.Holding(id) || m.entityQueued(id) ||
+		m.entityCombining(id) {
 		return
 	}
 	ownedSlice := false
@@ -321,8 +328,12 @@ func (m *Mutex) maybeReap(now time.Duration) {
 	m.nextReap = now + m.opts.InactiveTimeout/4
 	queued := m.queuedIDs()
 	reaped := m.acct.ExpireInactive(now, func(id core.ID) bool {
-		_, ok := queued[id]
-		return ok
+		if _, ok := queued[id]; ok {
+			return true
+		}
+		// A published-but-unexecuted critical section (Handle.Do) is an
+		// operation in flight: reaping its entity would strand the charge.
+		return m.entityCombining(id)
 	})
 	t := m.loadTracer()
 	for _, r := range reaped {
@@ -421,6 +432,12 @@ func (m *Mutex) fastUnlock(h *Handle) bool {
 	if !m.fastHeld {
 		return false
 	}
+	if m.combine.Load() != nil {
+		// Published critical sections are waiting (Handle.Do): decline so
+		// the slow release drains them while the held bit still provides
+		// mutual exclusion.
+		return false
+	}
 	t := m.loadTracer()
 	var now, hold time.Duration
 	if t != nil {
@@ -437,6 +454,11 @@ func (m *Mutex) fastUnlock(h *Handle) bool {
 	}
 	if t != nil {
 		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, hold))
+	}
+	// A publish that raced the release CAS would otherwise park with
+	// nobody coming to drain it; wake-walk so it observes the free lock.
+	if m.combine.Load() != nil {
+		m.wakeCombiners()
 	}
 	return true
 }
@@ -877,9 +899,20 @@ func (h *Handle) Unlock() {
 	if m.fastUnlock(h) {
 		return
 	}
+	m.unlockSlow(h)
+}
+
+// unlockSlow is the full release: fold, the holder's accounting release,
+// a drain of any published critical sections (Handle.Do) while the held
+// bit still provides mutual exclusion, and the slice boundary.
+func (m *Mutex) unlockSlow(h *Handle) {
 	check.Point("mu.unlock.slow")
 	m.lockMu()
 	defer m.unlockMu()
+	// Publishers still pending when the lock goes idle must be woken to
+	// self-serve; runs before unlockMu (harmless — it only reads atomics
+	// and sends non-blocking signals) on every exit path below.
+	defer m.wakeCombiners()
 	if m.word.Load()&wordHeld == 0 {
 		panic("scl: Unlock of unlocked Mutex")
 	}
@@ -902,9 +935,17 @@ func (h *Handle) Unlock() {
 		rel = m.acct.OnRelease(h.id, now)
 		m.stats.onRelease(int64(h.id), now)
 	}
-	m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
 	if t := m.loadTracer(); t != nil {
 		t.OnRelease(m.event(trace.KindRelease, now, h.id, h.name, rel.Hold))
+	}
+	if m.combine.Load() != nil {
+		// Execute published critical sections before surrendering the held
+		// bit: the holder's own hold (measured above) never includes the
+		// drain, and each closure is charged to its publishing entity.
+		now = m.drainCombine(h, now)
+	}
+	m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
+	if t := m.loadTracer(); t != nil {
 		if rel.SliceExpired {
 			t.OnSliceEnd(m.event(trace.KindSliceEnd, now, h.id, h.name, rel.SliceUse))
 		}
@@ -984,6 +1025,7 @@ func (m *Mutex) transferLocked(now time.Duration) {
 	if m.word.Load()&wordTransfer != 0 {
 		return
 	}
+	m.debugCheckCombineQuiet()
 	m.fold(now)
 	m.fastSince = -1
 	if m.next == nil {
@@ -1160,6 +1202,17 @@ func (m *Mutex) CheckInvariants() error {
 	}
 	if m.next == nil && len(m.parked) > 0 {
 		return fmt.Errorf("scl: %d parked waiters with an empty next slot", len(m.parked))
+	}
+	for r := m.combine.Load(); r != nil; r = r.next.Load() {
+		s := r.state.Load()
+		if s < combinePending || s > combineDone {
+			return fmt.Errorf("scl: combining request of entity %d in impossible state %d", r.h.id, s)
+		}
+		// A claimed request means a drain is executing it right now, which
+		// can only happen while the combiner still owns the held bit.
+		if s == combineClaimed && m.word.Load()&wordHeld == 0 {
+			return fmt.Errorf("scl: claimed combining request of entity %d with the lock unheld", r.h.id)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,218 @@
+package scl
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"scl/internal/check"
+	"scl/trace"
+)
+
+// Writer-side combining for the RW-SCL (DESIGN.md §9). RWLock.Do is the
+// class analogue of Handle.Do: a writer that finds another writer active
+// publishes its critical section instead of queueing for the write
+// phase, and the active writer executes a bounded batch on its way out,
+// while the writer-active bit still excludes both classes. Charging is
+// simpler than the mutex's: the class is the schedulable entity, so the
+// interval accounting (charge) books the drain's wall-clock automatically
+// as writer hold — there is no per-entity batch to fold.
+
+// rwCombineReq is one published writer critical section.
+type rwCombineReq struct {
+	next  atomic.Pointer[rwCombineReq]
+	fn    func()
+	state atomic.Int32  // combinePending/Claimed/Cancelled/Done
+	wake  chan struct{} // buffered(1)
+	since time.Duration // publish time, for the acquire event's wait detail
+}
+
+// Do runs fn while holding the lock exclusive, like WLock(); fn();
+// WUnlock(), but when another writer is active the critical section may
+// be executed by that writer on the caller's behalf instead of waiting
+// for the write phase's next grant. fn runs exactly once, under full
+// mutual exclusion (no reader or writer concurrently), and its run time
+// is charged to the writer class either way. fn must not use this RWLock
+// and must not panic; it may run on another writer's goroutine.
+func (l *RWLock) Do(fn func()) {
+	now := monotime()
+	if l.fastWLock(now) {
+		fn()
+		l.WUnlock()
+		return
+	}
+	if l.word.Load()&rwWActive == 0 {
+		l.doClassic(fn)
+		return
+	}
+	r := &rwCombineReq{fn: fn, wake: make(chan struct{}, 1), since: now}
+	for {
+		old := l.wcombine.Load()
+		r.next.Store(old)
+		check.Point("rw.combine.publish")
+		if l.wcombine.CompareAndSwap(old, r) {
+			break
+		}
+	}
+	if l.combineWait(r) {
+		return
+	}
+	l.doClassic(fn)
+}
+
+// doClassic is Do through the ordinary write acquire.
+func (l *RWLock) doClassic(fn func()) {
+	l.WLock()
+	fn()
+	l.WUnlock()
+}
+
+// combineWait blocks until the request is executed (true) or must be
+// self-served (false: the writer-active bit cleared with the request
+// still unclaimed — nobody is coming to drain it). Same protocol as the
+// mutex publisher's wait; see Mutex.combineWait.
+func (l *RWLock) combineWait(r *rwCombineReq) bool {
+	if _, handled := check.WaitOrDone("rw.combine.wait", func() bool {
+		s := r.state.Load()
+		return s == combineDone ||
+			s == combinePending && l.word.Load()&rwWActive == 0
+	}, nil); handled {
+		for {
+			switch r.state.Load() {
+			case combineDone:
+				return true
+			case combinePending:
+				if r.state.CompareAndSwap(combinePending, combineCancelled) {
+					return false
+				}
+			default: // claimed: execution is imminent
+				check.WaitOrDone("rw.combine.claimed", func() bool {
+					return r.state.Load() == combineDone
+				}, nil)
+			}
+		}
+	}
+	for spins := 0; ; {
+		switch r.state.Load() {
+		case combineDone:
+			return true
+		case combinePending:
+			if l.word.Load()&rwWActive == 0 {
+				if r.state.CompareAndSwap(combinePending, combineCancelled) {
+					return false
+				}
+				continue
+			}
+		}
+		if spins < combineSpin {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		<-r.wake
+	}
+}
+
+// wakeWCombiners wake-walks the writer combining stack once no writer is
+// active, so still-pending publishers observe the clear bit and withdraw
+// to the classic path. Safe without l.mu (reads and non-blocking sends
+// only); the ordering argument mirrors Mutex.wakeCombiners.
+func (l *RWLock) wakeWCombiners() {
+	r := l.wcombine.Load()
+	if r == nil || l.word.Load()&rwWActive != 0 {
+		return
+	}
+	for ; r != nil; r = r.next.Load() {
+		if r.state.Load() == combinePending {
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// drainWCombine executes a batch of published writer sections while the
+// caller still owns the writer-active bit, then books them: the interval
+// accounting charges the drain as writer hold when the caller's release
+// charge lands, so only the op count and events need explicit handling.
+// l.mu held on entry and exit; returns the post-drain clock.
+func (l *RWLock) drainWCombine(now time.Duration) time.Duration {
+	check.Point("rw.combine.drain")
+	head := l.wcombine.Swap(nil)
+	if head == nil {
+		return now
+	}
+	var batch []*rwCombineReq
+	var overflow []*rwCombineReq
+	for r := head; r != nil; r = r.next.Load() {
+		switch {
+		case r.state.Load() != combinePending:
+			// Withdrawn — the publisher self-serves; drop it.
+		case len(batch) < combineBatch:
+			if r.state.CompareAndSwap(combinePending, combineClaimed) {
+				batch = append(batch, r)
+			}
+		default:
+			overflow = append(overflow, r)
+		}
+	}
+	for i := len(overflow) - 1; i >= 0; i-- {
+		r := overflow[i]
+		for {
+			old := l.wcombine.Load()
+			r.next.Store(old)
+			if l.wcombine.CompareAndSwap(old, r) {
+				break
+			}
+		}
+	}
+	if len(batch) == 0 {
+		return now
+	}
+	l.unlockMu()
+	t := l.loadTracer()
+	var total time.Duration
+	type span struct{ start, end time.Duration }
+	var spans []span
+	if t != nil {
+		spans = make([]span, len(batch))
+	}
+	at := monotime()
+	for i, r := range batch {
+		start := at
+		r.fn()
+		at = monotime()
+		if t != nil {
+			spans[i] = span{start, at}
+		}
+		total += at - start
+	}
+	l.lockMu()
+	now = monotime()
+	// The closures ran inside the caller's writer-active window, so the
+	// caller's next charge(0, true, ...) books the drain as writer hold;
+	// only ops and events remain.
+	l.writerOps.Add(int64(len(batch)))
+	l.writerCombines.Add(int64(len(batch)))
+	if t != nil {
+		t.OnCombine(l.event(trace.KindCombine, now, trace.EntityWriters, total))
+		for i, r := range batch {
+			wait := spans[i].start - r.since
+			if wait < 0 {
+				wait = 0
+			}
+			t.OnAcquire(l.event(trace.KindAcquire, spans[i].start, trace.EntityWriters, wait))
+			t.OnRelease(l.event(trace.KindRelease, spans[i].end, trace.EntityWriters, spans[i].end-spans[i].start))
+		}
+	}
+	check.Point("rw.combine.handoff")
+	for _, r := range batch {
+		r.state.Store(combineDone)
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+	return now
+}

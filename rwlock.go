@@ -106,6 +106,14 @@ type RWLock struct {
 	readerCancels atomic.Int64
 	writerCancels atomic.Int64
 
+	// wcombine is the writer-side combining stack (RWLock.Do): a Treiber
+	// LIFO of published critical sections the active writer drains on its
+	// way out (rwcombine.go). Pushes are lock-free; pops happen under mu.
+	wcombine atomic.Pointer[rwCombineReq]
+	// writerCombines counts closures executed through the combining path
+	// (they are also included in writerOps).
+	writerCombines atomic.Int64
+
 	// tracing state (slow path only — tracing disables the fast path):
 	// start of the current reader busy interval / writer hold / slice
 	// phase, for event details. l.mu held.
@@ -448,17 +456,26 @@ func (l *RWLock) fastWLock(now time.Duration) bool {
 	}
 }
 
-// fastWUnlock mirrors fastWLock for release.
+// fastWUnlock mirrors fastWLock for release. A non-empty combining stack
+// forces the slow path, whose release drains it; a publish that lands
+// after the CAS is covered by the post-release wake-walk (the publisher
+// observes the cleared writer-active bit and self-serves).
 func (l *RWLock) fastWUnlock(now time.Duration) bool {
 	for {
 		w := l.word.Load()
 		if w&(rwWActive|rwWaiters) != rwWActive || w&rwPhaseWrite == 0 || l.tracer.Load() != nil {
 			return false
 		}
+		if l.wcombine.Load() != nil {
+			return false
+		}
 		check.Point("rw.fast.wunlock")
 		if l.word.CompareAndSwap(w, w&^rwWActive) {
 			l.charge(0, true, now)
 			l.lastFast.Store(int64(now))
+			if l.wcombine.Load() != nil {
+				l.wakeWCombiners()
+			}
 			return true
 		}
 	}
@@ -700,6 +717,10 @@ func (l *RWLock) abandonWaiter(queue *[]rwWaiter, ch chan struct{}, entity int64
 	}
 	l.noteAbandonLocked(entity, now, now-since)
 	l.advanceLocked(now)
+	// The writer branch cleared writer-active without a drain; wake any
+	// pending Do publishers so they withdraw to the classic path (no-op
+	// unless the bit is actually clear — advance may have re-granted).
+	l.wakeWCombiners()
 }
 
 // noteAbandonLocked lands a cancellation in the class counters and the
@@ -733,12 +754,20 @@ func (l *RWLock) WUnlock() {
 		panic("scl: WUnlock without WLock")
 	}
 	l.charge(0, true, now)
-	l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
 	if t := l.loadTracer(); t != nil {
 		t.OnRelease(l.event(trace.KindRelease, now, trace.EntityWriters, now-l.wStart))
 	}
+	if l.wcombine.Load() != nil {
+		// Drain published writer sections while the writer-active bit is
+		// still ours: the closures run under full exclusion, and the
+		// follow-up charge books the drain interval as writer hold.
+		now = l.drainWCombine(now)
+		l.charge(0, true, now)
+	}
+	l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
 	l.advanceLocked(now)
 	l.unlockMu()
+	l.wakeWCombiners()
 }
 
 // creditFastActivity replays the slice-clock restarts that fast-path
@@ -975,6 +1004,10 @@ type RWStats struct {
 	// ReaderCancels and WriterCancels count abandoned acquisitions per
 	// class (RLockContext / WLockContext returning ctx.Err()).
 	ReaderCancels, WriterCancels int64
+	// WriterCombined counts writer critical sections executed through the
+	// combining path (RWLock.Do sections another writer ran while
+	// releasing). They are included in WriterOps and WriterHold too.
+	WriterCombined int64
 	// Idle is the time the lock was wholly unheld.
 	Idle time.Duration
 	// Elapsed is the time since the lock was created.
@@ -995,6 +1028,16 @@ func (l *RWLock) CheckInvariants() error {
 	sum := l.readerSum()
 	if w := l.word.Load(); w&rwWActive != 0 && sum > 0 {
 		return fmt.Errorf("scl: writer active with %d readers holding", sum)
+	}
+	// The combining stack holds only unresolved requests: claimed ones
+	// left it with the drained batch, and done is stored only after
+	// removal, so either state reachable here means corrupted hand-off.
+	for r := l.wcombine.Load(); r != nil; r = r.next.Load() {
+		switch s := r.state.Load(); s {
+		case combinePending, combineCancelled:
+		default:
+			return fmt.Errorf("scl: rw combine stack holds request in state %d", s)
+		}
 	}
 	return l.checkFlipLocked()
 }
@@ -1035,13 +1078,14 @@ func (l *RWLock) Stats() RWStats {
 	// chance to run even when the lock has gone quiet.
 	l.maybeReleaseQueues(now)
 	return RWStats{
-		ReaderHold:    time.Duration(l.readerHold.Load()),
-		WriterHold:    time.Duration(l.writerHold.Load()),
-		ReaderOps:     l.readerOps.Load() + l.fastReaderOps(),
-		WriterOps:     l.writerOps.Load(),
-		ReaderCancels: l.readerCancels.Load(),
-		WriterCancels: l.writerCancels.Load(),
-		Idle:          time.Duration(l.idleTotal.Load()),
-		Elapsed:       now - l.createdAt,
+		ReaderHold:     time.Duration(l.readerHold.Load()),
+		WriterHold:     time.Duration(l.writerHold.Load()),
+		ReaderOps:      l.readerOps.Load() + l.fastReaderOps(),
+		WriterOps:      l.writerOps.Load(),
+		ReaderCancels:  l.readerCancels.Load(),
+		WriterCancels:  l.writerCancels.Load(),
+		WriterCombined: l.writerCombines.Load(),
+		Idle:           time.Duration(l.idleTotal.Load()),
+		Elapsed:        now - l.createdAt,
 	}
 }

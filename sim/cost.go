@@ -35,6 +35,12 @@ type CostModel struct {
 	// re-acquiring a TAS spinlock beats an already-spinning waiter to the
 	// cacheline (barging). Drawn from the engine's seeded RNG.
 	StealProb float64
+	// CombinePublish is what a USCL.Do caller pays to push its critical
+	// section onto the contended combining stack (a CAS on a remote line).
+	CombinePublish time.Duration
+	// CombineDispatch is the combiner's per-section drain overhead (claim
+	// plus timing bookkeeping) before the section itself runs.
+	CombineDispatch time.Duration
 }
 
 // DefaultCostModel returns the calibrated defaults.
@@ -50,6 +56,8 @@ func DefaultCostModel() CostModel {
 		CrossNodeFactor: 2.5,
 		NUMANode:        8,
 		StealProb:       0.5,
+		CombinePublish:  105 * time.Nanosecond, // CachelineXfer + AtomicOp
+		CombineDispatch: 50 * time.Nanosecond,  // two owned-line atomics
 	}
 }
 
@@ -84,6 +92,12 @@ func (c CostModel) withDefaults() CostModel {
 	}
 	if c.StealProb == 0 {
 		c.StealProb = d.StealProb
+	}
+	if c.CombinePublish == 0 {
+		c.CombinePublish = d.CombinePublish
+	}
+	if c.CombineDispatch == 0 {
+		c.CombineDispatch = d.CombineDispatch
 	}
 	return c
 }

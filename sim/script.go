@@ -31,6 +31,13 @@ const (
 	// OpClose deregisters the entity mid-script (scl.Handle.Close); a
 	// later acquire re-registers it with fresh usage.
 	OpClose
+	// OpDo runs the critical section through the combining API (USCL.Do,
+	// scl.Handle.Do): a contended call may be executed by the current
+	// holder on the caller's behalf, with usage charged to the caller
+	// either way. The grant is recorded when the call returns, so two
+	// substrates may legitimately order concurrent OpDo grants
+	// differently (scenario files allow grant-order for that).
+	OpDo
 )
 
 // ScriptOp is one scripted operation.
@@ -137,6 +144,10 @@ func RunScript(s Script) ScriptResult {
 					l.Unlock(t)
 				case OpClose:
 					l.CloseEntity(t)
+				case OpDo:
+					l.Do(t, op.Hold)
+					res.Grants = append(res.Grants, i)
+					res.Hold[i] += op.Hold
 				}
 			}
 			// End-of-script close, mirroring a real entity's deferred

@@ -48,6 +48,11 @@ type USCL struct {
 	parked   []*usclWaiter
 	transfer bool // ownership grant in flight to next
 
+	// combine holds published critical sections (Do) awaiting the
+	// holder's release-time drain, in publish order; the drain takes the
+	// newest first, matching the real lock's Treiber-stack pop.
+	combine []*usclCombine
+
 	sliceEvtGen uint64 // validity of the scheduled slice-end transfer
 
 	holds holdTimes
@@ -69,6 +74,133 @@ func (l *USCL) wake(w *usclWaiter) {
 		w.wakePending = true
 		l.e.unpark(w.t)
 	}
+}
+
+// usclCombine is one published critical section (Do) awaiting the
+// holder's drain.
+type usclCombine struct {
+	t        *Task
+	hold     time.Duration
+	since    time.Duration // publish time, for the wait sample
+	done     bool          // executed by the combiner
+	rejected bool          // self-serve through the classic path
+	parkedAt bool
+}
+
+// usclCombineBatch mirrors the real lock's per-release drain bound
+// (scl's combineBatch).
+const usclCombineBatch = 16
+
+// Do acquires the lock, runs a critical section of length hold, and
+// releases — semantically Lock; Compute(hold); Unlock — but when another
+// task holds the lock the section is published for the holder to execute
+// on its way out, mirroring scl.Handle.Do. Usage lands on t's entity
+// either way (Accountant.FoldBatch), so bans and slice rotation are
+// exactly as if t had acquired itself; only the queueing dance is elided.
+func (l *USCL) Do(t *Task, hold time.Duration) {
+	id := t.Entity()
+	if !l.acct.Registered(id) {
+		l.acct.Register(id, t.weight, t.e.now)
+	}
+	if l.acct.BannedUntil(id) > t.e.now || (l.heldBy == nil && !l.transfer) {
+		// Banned entities sleep out their penalty in the classic path (a
+		// real combiner rejects them at drain time); a free lock is
+		// cheaper to take than to combine over.
+		l.doClassic(t, hold)
+		return
+	}
+	t.Compute(l.e.cfg.Cost.CombinePublish) // push CAS on the contended stack
+	if l.heldBy == nil && !l.transfer {
+		// The holder left while we were publishing; self-serve.
+		l.doClassic(t, hold)
+		return
+	}
+	r := &usclCombine{t: t, hold: hold, since: t.e.now}
+	l.combine = append(l.combine, r)
+	t.Compute(l.e.cfg.Cost.ParkCPU)
+	for !r.done && !r.rejected {
+		r.parkedAt = true
+		t.park()
+		r.parkedAt = false
+	}
+	if r.rejected {
+		l.doClassic(t, hold)
+	}
+}
+
+// doClassic is Do through the ordinary acquire path.
+func (l *USCL) doClassic(t *Task, hold time.Duration) {
+	l.Lock(t)
+	t.Compute(hold)
+	l.Unlock(t)
+}
+
+// wakeCombine resumes a publisher whose request resolved; the releaser
+// pays the wake syscall for a parked one. A publisher still on the park
+// entry path observes the resolution before sleeping.
+func (l *USCL) wakeCombine(r *usclCombine, t *Task) {
+	if r.parkedAt {
+		t.Compute(l.e.cfg.Cost.FutexWake)
+		l.e.unpark(r.t)
+	}
+}
+
+// drainCombine executes published critical sections on the releasing
+// holder's CPU: up to usclCombineBatch sections, newest first, with
+// banned publishers rejected to the classic path (where they sleep out
+// the penalty), exactly as the real lock's drain does. Usage lands
+// through Accountant.FoldBatch after the batch runs, so each publisher
+// is charged — and banned — as if it had acquired itself. Runs between
+// the holder's release bookkeeping and the lock going free: the lock
+// still reads as held, so nobody acquires over the batch.
+func (l *USCL) drainCombine(t *Task) {
+	var batch []*usclCombine
+	for len(l.combine) > 0 && len(batch) < usclCombineBatch {
+		r := l.combine[len(l.combine)-1]
+		l.combine = l.combine[:len(l.combine)-1]
+		if l.acct.BannedUntil(r.t.Entity()) > t.e.now {
+			r.rejected = true
+			l.wakeCombine(r, t)
+			continue
+		}
+		batch = append(batch, r)
+	}
+	if len(batch) == 0 {
+		return
+	}
+	charges := make([]core.Charge, len(batch))
+	for i, r := range batch {
+		t.Compute(l.e.cfg.Cost.CombineDispatch)
+		l.stats.onWait(r.t, t.e.now-r.since)
+		l.stats.onAcquire(r.t)
+		cs := t.e.now
+		t.Compute(r.hold)
+		charges[i] = core.Charge{ID: r.t.Entity(), Usage: t.e.now - cs}
+		l.stats.onRelease(r.t, charges[i].Usage)
+	}
+	pens := l.acct.FoldBatch(charges, t.e.now)
+	for i, r := range batch {
+		if pens[i] > 0 {
+			l.e.traceEvent(TraceBan, r.t, pens[i])
+		}
+		r.done = true
+		l.wakeCombine(r, t)
+	}
+}
+
+// rejectStrandedCombines self-serves publishers left queued when the
+// lock goes idle: with no holder left to drain them, the real lock's
+// release-time wake-walk makes publishers withdraw and acquire
+// classically, and the simulation mirrors that.
+func (l *USCL) rejectStrandedCombines(t *Task) {
+	if l.heldBy != nil || l.transfer || len(l.combine) == 0 {
+		return
+	}
+	for _, r := range l.combine {
+		r.rejected = true
+		l.wakeCombine(r, t)
+	}
+	l.combine = l.combine[:0]
 }
 
 // NewUSCL creates a u-SCL: 2ms slices (unless overridden) and next-thread
@@ -404,9 +536,15 @@ func (l *USCL) Unlock(t *Task) {
 	l.restorePriority(t)
 	t.Compute(l.accountingCost())
 	rel := l.acct.OnRelease(t.Entity(), t.e.now)
-	l.heldBy = nil
 	t.holding--
 	l.stats.onRelease(t, l.holds.end(t))
+	if len(l.combine) > 0 {
+		// Drain published sections (Do) while still the nominal holder:
+		// heldBy stays set, so nobody acquires over the batch, exactly as
+		// the real lock keeps its held bit through the drain.
+		l.drainCombine(t)
+	}
+	l.heldBy = nil
 	if l.p.InactiveTimeout > 0 {
 		l.acct.Expire(t.e.now)
 	}
@@ -426,9 +564,11 @@ func (l *USCL) Unlock(t *Task) {
 			}
 		}
 		l.armSliceEnd()
+		l.rejectStrandedCombines(t)
 		return
 	}
 	l.transferOwnership()
+	l.rejectStrandedCombines(t)
 }
 
 // takeClassWaiter finds a queued waiter belonging to the given entity and

@@ -42,6 +42,8 @@ type entityStats struct {
 	banTime      time.Duration
 	handoffs     int64
 	cancels      int64
+	combines     int64 // batches this entity drained as the combiner
+	combined     int64 // closures of this entity executed by a combiner
 	holds        *metrics.Reservoir
 	waits        *metrics.Reservoir
 }
@@ -149,6 +151,46 @@ func (s *lockStats) onHandoff(id int64) {
 	s.entity(id).handoffs++
 }
 
+// onCombine records that id, while releasing, drained a batch of n
+// combined critical sections (Handle.Do) and executed them itself.
+func (s *lockStats) onCombine(id int64, n int64) {
+	s.entity(id).combines += n
+}
+
+// onCombinedOp books one combiner-executed critical section on behalf of
+// entity id: the exact equivalent of onAcquire(start)/onRelease(end) at
+// the closure's measured timestamps — hold integral, acquisition count,
+// wait and hold samples, idle accounting — in a single entity lookup,
+// plus the delegation count. The lock-level holder count is untouched
+// (the batch runs between the combiner's release and the next acquire,
+// while holders is zero; the held state word, not this counter, is the
+// mutual exclusion).
+func (s *lockStats) onCombinedOp(id int64, name string, start, end, wait time.Duration) {
+	if s.holders == 0 {
+		if start > s.idleStart {
+			s.idle += start - s.idleStart
+		}
+		s.idleStart = end
+	}
+	e := s.entity(id)
+	if name != "" {
+		e.name = name
+	}
+	e.settle(start)
+	if e.active == 0 {
+		e.opStart = start
+	}
+	e.active++
+	e.acquisitions++
+	e.waits.Add(wait)
+	e.settle(end)
+	e.active--
+	if e.active == 0 {
+		e.holds.Add(end - e.opStart)
+	}
+	e.combined++
+}
+
 // onAbandon records a cancelled acquisition (a LockContext that gave up
 // mid-ban or mid-queue). No hold or wait lands in the distributions: an
 // abandoned attempt leaves the usage books exactly as if it never queued.
@@ -189,6 +231,8 @@ func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 		BanTime:      make(map[int64]time.Duration, n),
 		Handoffs:     make(map[int64]int64, n),
 		Cancels:      make(map[int64]int64, n),
+		Combines:     make(map[int64]int64, n),
+		Combined:     make(map[int64]int64, n),
 		HoldDist:     make(map[int64]metrics.Summary, n),
 		WaitDist:     make(map[int64]metrics.Summary, n),
 		Idle:         s.idle,
@@ -210,6 +254,8 @@ func (s *lockStats) snapshot(now time.Duration) StatsSnapshot {
 		snap.BanTime[id] = e.banTime
 		snap.Handoffs[id] = e.handoffs
 		snap.Cancels[id] = e.cancels
+		snap.Combines[id] = e.combines
+		snap.Combined[id] = e.combined
 		snap.HoldDist[id] = e.holds.Summary()
 		snap.WaitDist[id] = e.waits.Summary()
 	}
@@ -239,6 +285,13 @@ type StatsSnapshot struct {
 	// that returned ctx.Err() from the ban sleep or the waiter queue. An
 	// abandoned attempt charges no usage and keeps no queue position.
 	Cancels map[int64]int64
+	// Combines counts, per entity, combined critical sections the entity
+	// executed for others while releasing (Handle.Do batches it drained);
+	// Combined counts the entity's own critical sections that a combiner
+	// executed on its behalf. Combined sections still appear in Hold,
+	// Acquisitions and the distributions under the publishing entity.
+	Combines map[int64]int64
+	Combined map[int64]int64
 	// HoldDist and WaitDist summarize per-operation hold and wait (queue
 	// plus ban) distributions from bounded reservoir samples.
 	HoldDist map[int64]metrics.Summary

@@ -509,3 +509,184 @@ func TestRWLockStressCancel(t *testing.T) {
 	}
 	l.RUnlock()
 }
+
+// TestMutexStressCombine hammers one Mutex with a mix of combining
+// (Handle.Do) and classic (Lock/Unlock, LockContext) users, so drained
+// batches, withdrawn publishers, rejected banned publishers, and
+// ordinary grants interleave under the race detector. The invariants
+// are those of TestMutexStressContended — mutual exclusion over a
+// plainly-guarded counter, no lost wakeups — plus exactly-once
+// execution of every published section (the guarded total must equal
+// the op count) and clean accounting teardown. Soak it with
+//
+//	go test -race -run TestMutexStressCombine -scl.stress 30s .
+func TestMutexStressCombine(t *testing.T) {
+	m := NewMutex(Options{Slice: 100 * time.Microsecond})
+
+	const entities = 6
+	var handles []*Handle
+	for e := 0; e < entities; e++ {
+		handles = append(handles, m.Register())
+	}
+
+	var guarded int64 // mutated only inside critical sections, unsynchronized
+	var inCS atomic.Int32
+	var violations atomic.Int64
+	ops := make([]int64, len(handles))
+
+	deadline := time.Now().Add(stressDuration())
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 300))
+			section := func() {
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				guarded++
+				v := guarded
+				runtime.Gosched() // widen the window for exclusion violations
+				if guarded != v {
+					violations.Add(1)
+				}
+				inCS.Add(-1)
+			}
+			for time.Now().Before(deadline) {
+				switch rng.Intn(4) {
+				case 0: // classic path, same section
+					h.Lock()
+					section()
+					h.Unlock()
+				case 1: // cancellable classic acquire racing the combiners
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(30+rng.Intn(200))*time.Microsecond)
+					if err := h.LockContext(ctx); err != nil {
+						cancel()
+						continue
+					}
+					section()
+					h.Unlock()
+					cancel()
+				default:
+					h.Do(section)
+				}
+				ops[i]++
+			}
+		}(i, h)
+	}
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d mutual-exclusion violations", n)
+	}
+	var total int64
+	for i, n := range ops {
+		if n == 0 {
+			t.Errorf("goroutine %d made no progress (lost wakeup?)", i)
+		}
+		total += n
+	}
+	if guarded != total {
+		t.Fatalf("guarded counter = %d, want %d (lost or double-run sections)", guarded, total)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after combine stress: %v", err)
+	}
+	// Liveness after the storm: a stranded publisher or a claimed request
+	// that never resolved would wedge these sequential combined sections.
+	for i, h := range handles {
+		done := make(chan struct{})
+		go func(h *Handle) { h.Do(func() {}); close(done) }(h)
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("handle %d: Do wedged after stress (stranded publisher?)", i)
+		}
+	}
+	for _, h := range handles {
+		h.Close()
+	}
+	if n := m.Entities(); n != 0 {
+		t.Fatalf("%d entities still registered after all handles closed", n)
+	}
+}
+
+// TestRWLockStressCombine is the RW analogue: writers route their
+// sections through RWLock.Do while cancellable readers flood the other
+// class, so writer-side combining drains race phase flips, reader
+// grants, and abandoning waiters. Checks rw exclusion, exactly-once
+// writer sections, and post-storm liveness for both classes.
+func TestRWLockStressCombine(t *testing.T) {
+	l := NewRWLock(3, 1, 200*time.Microsecond)
+
+	var readers atomic.Int32
+	var writers atomic.Int32
+	var violations atomic.Int64
+	var wrote atomic.Int64
+	var wops atomic.Int64
+
+	deadline := time.Now().Add(stressDuration())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i) + 400))
+			for time.Now().Before(deadline) {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(20+rng.Intn(400))*time.Microsecond)
+				if err := l.RLockContext(ctx); err == nil {
+					readers.Add(1)
+					if writers.Load() != 0 {
+						violations.Add(1)
+					}
+					readers.Add(-1)
+					l.RUnlock()
+				}
+				cancel()
+			}
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				l.Do(func() {
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						violations.Add(1)
+					}
+					wrote.Add(1)
+					writers.Add(-1)
+				})
+				wops.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("%d rw exclusion violations", n)
+	}
+	if got, want := wrote.Load(), wops.Load(); got != want {
+		t.Fatalf("%d writer sections ran, want %d (lost or double-run sections)", got, want)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after combine stress: %v", err)
+	}
+	// Drain check: both classes must still be able to get in, including
+	// through the combining path.
+	done := make(chan struct{})
+	go func() { l.Do(func() {}); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer Do wedged after stress (stranded publisher?)")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := l.RLockContext(ctx); err != nil {
+		t.Fatalf("reader cannot acquire after stress (lost grant?): %v", err)
+	}
+	l.RUnlock()
+}

@@ -106,3 +106,6 @@ func (r *Ring) OnAbandon(ev Event) { r.Record(ev) }
 
 // OnReap implements scl.Tracer.
 func (r *Ring) OnReap(ev Event) { r.Record(ev) }
+
+// OnCombine implements scl.Tracer.
+func (r *Ring) OnCombine(ev Event) { r.Record(ev) }

@@ -52,6 +52,13 @@ const (
 	// entity had been idle when reaped. If the entity returns it
 	// re-registers through the join-credit floor.
 	KindReap Kind = "reap"
+	// KindCombine: the releasing lock holder drained a batch of published
+	// critical sections (Handle.Do / RWLock.Do) and executed them on the
+	// publishers' behalf. Entity is the combiner; Detail is the summed
+	// critical-section time of the batch. One acquire/release pair per
+	// combined entity follows, so per-entity accounting in the stream is
+	// unchanged — this event only identifies who did the work.
+	KindCombine Kind = "combine"
 )
 
 // Event is one structured lock event. Events carry process-local
@@ -113,6 +120,8 @@ func (ev Event) String() string {
 		fmt.Fprintf(&b, "  gave up after %v", ev.Detail)
 	case KindReap:
 		fmt.Fprintf(&b, "  reaped after %v idle", ev.Detail)
+	case KindCombine:
+		fmt.Fprintf(&b, "  combined %v", ev.Detail)
 	case KindAcquire:
 		if ev.Detail > 0 {
 			fmt.Fprintf(&b, "  waited %v", ev.Detail)

@@ -51,6 +51,13 @@ type Tracer interface {
 	// through the join-credit floor (a fresh OnAcquire follows; no event
 	// marks the re-registration itself).
 	OnReap(trace.Event)
+	// OnCombine fires when a releasing holder drains a batch of combined
+	// critical sections (Handle.Do / RWLock.Do) and executes them on the
+	// publishers' behalf. The event's entity is the combiner and Detail
+	// is the batch's summed critical-section time; one OnAcquire/OnRelease
+	// pair per combined entity follows under the publishing entity's own
+	// ID, so per-entity views of the stream need no special handling.
+	OnCombine(trace.Event)
 }
 
 // event assembles a trace.Event for this lock.
