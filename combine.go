@@ -1,6 +1,7 @@
 package scl
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -83,7 +84,9 @@ type combineReq struct {
 // the classic path. A banned entity's Do first serves out its penalty.
 //
 // fn must not use this Mutex (or any of its Handles) and must not panic;
-// it may run on the goroutine of an unrelated lock user.
+// it may run on the goroutine of an unrelated lock user. A panic that
+// escapes fn anyway is re-raised, scl-identified, on whichever goroutine
+// ran the closure; the lock itself stays usable.
 func (h *Handle) Do(fn func()) {
 	m := h.m
 	if m.fastLock(h) {
@@ -283,6 +286,48 @@ func (m *Mutex) drainCombine(combiner *Handle, now time.Duration) time.Duration 
 	m.draining = batch
 	m.unlockMu()
 	var total time.Duration
+	ran := 0
+	// Do closures are documented as must-not-panic, but an escaped panic
+	// (or runtime.Goexit) in one would otherwise wedge the whole lock:
+	// m.mu is released, m.draining is populated, the claimed publishers
+	// are parked with no resolution coming, and the held bit stays up.
+	// Fail loudly instead of wedging: resolve the batch, retire the held
+	// word, and let the panic continue scl-identified. The failed batch's
+	// charges are dropped — fairness bookkeeping is best-effort on a path
+	// that is already a contract violation.
+	defer func() {
+		if ran == len(batch) {
+			return // every closure completed; the booking below ran normally
+		}
+		pv := recover()
+		m.lockMu()
+		m.draining = nil
+		for i, r := range batch {
+			if i <= ran {
+				// Executed (the ran'th closure is the one that blew up):
+				// exactly-once forbids a classic-path re-run, so resolve it
+				// as done, uncharged.
+				r.state.Store(combineDone)
+			} else {
+				// Never started: bounce it to the classic path.
+				r.state.Store(combineRejected)
+			}
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+		// Retire the held bit and run the boundary so the lock outlives
+		// the panic; unlockSlow's remaining release logic is skipped by the
+		// unwind (its deferred wakeCombiners/unlockMu still run, balanced
+		// by the lockMu above).
+		m.mutate(func(w uint64) uint64 { return w &^ wordHeld })
+		m.transferLocked(monotime())
+		if pv != nil {
+			panic(fmt.Sprintf("scl: Handle.Do critical section panicked: %v", pv))
+		}
+		// pv == nil means runtime.Goexit: the unwind continues on its own.
+	}()
 	at := monotime()
 	for _, r := range batch {
 		r.start = at
@@ -290,6 +335,7 @@ func (m *Mutex) drainCombine(combiner *Handle, now time.Duration) time.Duration 
 		at = monotime()
 		r.end = at
 		total += r.end - r.start
+		ran++
 	}
 	m.lockMu()
 	m.draining = nil

@@ -598,6 +598,11 @@ func (m *Mutex) abandon(w *waiter, reqAt time.Duration) {
 	check.Point("mu.abandon")
 	m.lockMu()
 	defer m.unlockMu()
+	// A regrant below can retire the transfer with nobody left to grant
+	// to, leaving the word fully idle: publishers (Handle.Do) that parked
+	// while the transfer bit was up must be woken to self-serve, exactly
+	// as on the release paths. No-op unless the word actually went idle.
+	defer m.wakeCombiners()
 	now := monotime()
 	granted := w.granted.Load() // stable under m.mu: grants happen under it
 	if m.next == w {

@@ -1,6 +1,7 @@
 package scl
 
 import (
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -33,7 +34,9 @@ type rwCombineReq struct {
 // for the write phase's next grant. fn runs exactly once, under full
 // mutual exclusion (no reader or writer concurrently), and its run time
 // is charged to the writer class either way. fn must not use this RWLock
-// and must not panic; it may run on another writer's goroutine.
+// and must not panic; it may run on another writer's goroutine. A panic
+// that escapes fn anyway is re-raised, scl-identified, on whichever
+// goroutine ran the closure; the lock itself stays usable.
 func (l *RWLock) Do(fn func()) {
 	now := monotime()
 	if l.fastWLock(now) {
@@ -69,33 +72,39 @@ func (l *RWLock) doClassic(fn func()) {
 
 // combineWait blocks until the request is executed (true) or must be
 // self-served (false: the writer-active bit cleared with the request
-// still unclaimed — nobody is coming to drain it). Same protocol as the
-// mutex publisher's wait; see Mutex.combineWait.
+// still unclaimed — nobody is coming to drain it — or the drain bounced
+// it back because an earlier closure in the batch panicked). Same
+// protocol as the mutex publisher's wait; see Mutex.combineWait.
 func (l *RWLock) combineWait(r *rwCombineReq) bool {
 	if _, handled := check.WaitOrDone("rw.combine.wait", func() bool {
 		s := r.state.Load()
-		return s == combineDone ||
+		return s != combinePending && s != combineClaimed ||
 			s == combinePending && l.word.Load()&rwWActive == 0
 	}, nil); handled {
 		for {
 			switch r.state.Load() {
 			case combineDone:
 				return true
+			case combineRejected:
+				return false
 			case combinePending:
 				if r.state.CompareAndSwap(combinePending, combineCancelled) {
 					return false
 				}
 			default: // claimed: execution is imminent
 				check.WaitOrDone("rw.combine.claimed", func() bool {
-					return r.state.Load() == combineDone
+					return r.state.Load() >= combineCancelled
 				}, nil)
 			}
 		}
 	}
+	budget := combineSpinBudget()
 	for spins := 0; ; {
 		switch r.state.Load() {
 		case combineDone:
 			return true
+		case combineRejected:
+			return false
 		case combinePending:
 			if l.word.Load()&rwWActive == 0 {
 				if r.state.CompareAndSwap(combinePending, combineCancelled) {
@@ -104,7 +113,7 @@ func (l *RWLock) combineWait(r *rwCombineReq) bool {
 				continue
 			}
 		}
-		if spins < combineSpin {
+		if spins < budget {
 			spins++
 			runtime.Gosched()
 			continue
@@ -178,6 +187,44 @@ func (l *RWLock) drainWCombine(now time.Duration) time.Duration {
 	if t != nil {
 		spans = make([]span, len(batch))
 	}
+	ran := 0
+	// Same contract-violation backstop as Mutex.drainCombine: a closure
+	// that panics (or Goexits) would otherwise leave the writer-active
+	// bit up and the claimed publishers parked forever, with the unwind
+	// skipping WUnlock's remaining release logic. Resolve the batch,
+	// close out the write phase, and let the panic continue
+	// scl-identified.
+	defer func() {
+		if ran == len(batch) {
+			return // every closure completed; the booking below ran normally
+		}
+		pv := recover()
+		for i, r := range batch {
+			if i <= ran {
+				// Executed (including the closure that blew up): resolve as
+				// done — exactly-once forbids a classic-path re-run.
+				r.state.Store(combineDone)
+			} else {
+				// Never started: bounce it to the classic path.
+				r.state.Store(combineRejected)
+			}
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+		l.lockMu()
+		now := monotime()
+		l.charge(0, true, now) // the drain ran inside the writer-active window
+		l.mutateWord(func(x uint64) uint64 { return x &^ rwWActive })
+		l.advanceLocked(now)
+		l.unlockMu()
+		l.wakeWCombiners()
+		if pv != nil {
+			panic(fmt.Sprintf("scl: RWLock.Do critical section panicked: %v", pv))
+		}
+		// pv == nil means runtime.Goexit: the unwind continues on its own.
+	}()
 	at := monotime()
 	for i, r := range batch {
 		start := at
@@ -187,6 +234,7 @@ func (l *RWLock) drainWCombine(now time.Duration) time.Duration {
 			spans[i] = span{start, at}
 		}
 		total += at - start
+		ran++
 	}
 	l.lockMu()
 	now = monotime()

@@ -42,7 +42,7 @@ type entityStats struct {
 	banTime      time.Duration
 	handoffs     int64
 	cancels      int64
-	combines     int64 // batches this entity drained as the combiner
+	combines     int64 // closures this entity executed for others as the combiner
 	combined     int64 // closures of this entity executed by a combiner
 	holds        *metrics.Reservoir
 	waits        *metrics.Reservoir
